@@ -1,0 +1,186 @@
+//! Gaussian kernel generation and 8-bit quantization.
+//!
+//! All paper kernels are 3×3, symmetric, and quantized so the nine integer
+//! coefficients sum to exactly 256 — the normalization then becomes the
+//! `>> 8` at the accelerator output.
+
+/// The three distinct coefficients of a symmetric 3×3 kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymKernel {
+    /// Corner coefficient (multiplicity 4).
+    pub corner: u8,
+    /// Edge coefficient (multiplicity 4).
+    pub edge: u8,
+    /// Center coefficient (multiplicity 1).
+    pub center: u8,
+}
+
+impl SymKernel {
+    /// The nine coefficients in row-major order.
+    pub fn to_array(self) -> [u8; 9] {
+        let (c, e, m) = (self.corner, self.edge, self.center);
+        [c, e, c, e, m, e, c, e, c]
+    }
+
+    /// Coefficient sum (must be 256 for quantized kernels).
+    pub fn sum(self) -> u32 {
+        4 * self.corner as u32 + 4 * self.edge as u32 + self.center as u32
+    }
+}
+
+/// Quantizes the 3×3 Gaussian with standard deviation `sigma` to integer
+/// coefficients summing to exactly 256.
+///
+/// The rounding residual is absorbed by the center coefficient (step 1),
+/// then by the edge/corner coefficients (step 4) when necessary.
+///
+/// # Panics
+/// Panics if `sigma` is not positive and finite.
+pub fn gaussian_kernel_256(sigma: f64) -> SymKernel {
+    assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
+    let g = |d2: f64| (-d2 / (2.0 * sigma * sigma)).exp();
+    let (gc, ge, gm) = (g(2.0), g(1.0), g(0.0));
+    let total = 4.0 * gc + 4.0 * ge + gm;
+    let scale = 256.0 / total;
+    let mut corner = (gc * scale).round().clamp(0.0, 255.0) as i32;
+    let mut edge = (ge * scale).round().clamp(0.0, 255.0) as i32;
+    let mut center = (gm * scale).round().clamp(0.0, 255.0) as i32;
+    // absorb the residual: center first (step 1), then edge/corner (step 4)
+    let mut residual = 256 - (4 * corner + 4 * edge + center);
+    let step1 = residual.clamp(-center, 255 - center);
+    center += step1;
+    residual -= step1;
+    while residual >= 4 && edge < 255 {
+        edge += 1;
+        residual -= 4;
+    }
+    while residual <= -4 && edge > 0 {
+        edge -= 1;
+        residual += 4;
+    }
+    while residual >= 4 && corner < 255 {
+        corner += 1;
+        residual -= 4;
+    }
+    while residual <= -4 && corner > 0 {
+        corner -= 1;
+        residual += 4;
+    }
+    // |residual| < 4 now; if the center saturated we trade one edge step
+    // against the center so the sum lands exactly on 256
+    if residual != 0 {
+        let direct = (center + residual).clamp(0, 255);
+        if 4 * corner + 4 * edge + direct == 256 {
+            center = direct;
+        } else if residual > 0 {
+            edge += 1;
+            center -= 4 - residual;
+        } else {
+            edge -= 1;
+            center += 4 + residual;
+        }
+    }
+    debug_assert_eq!(4 * corner + 4 * edge + center, 256);
+    SymKernel {
+        corner: corner as u8,
+        edge: edge as u8,
+        center: center as u8,
+    }
+}
+
+/// The paper's generic-GF kernel sweep: `n` kernels with σ spread linearly
+/// over `[0.3, 0.8]` (paper: 50 kernels).
+pub fn sigma_sweep_kernels(n: usize) -> Vec<SymKernel> {
+    assert!(n >= 1);
+    (0..n)
+        .map(|i| {
+            let t = if n == 1 {
+                0.0
+            } else {
+                i as f64 / (n - 1) as f64
+            };
+            gaussian_kernel_256(0.3 + 0.5 * t)
+        })
+        .collect()
+}
+
+/// The σ = 2 kernel used by the fixed Gaussian filter, quantized:
+/// corner 26, edge 30, center 32 (sum = 256).
+pub fn fixed_gf_kernel() -> SymKernel {
+    SymKernel {
+        corner: 26,
+        edge: 30,
+        center: 32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantized_kernels_sum_to_256() {
+        for i in 0..60 {
+            let sigma = 0.25 + i as f64 * 0.05;
+            let k = gaussian_kernel_256(sigma);
+            assert_eq!(k.sum(), 256, "sigma={sigma}: {k:?}");
+        }
+    }
+
+    #[test]
+    fn coefficients_ordered_center_ge_edge_ge_corner() {
+        // Residual absorption may perturb a coefficient by up to 3 counts,
+        // so near-flat kernels are only ordered up to that slack.
+        for i in 0..30 {
+            let sigma = 0.3 + i as f64 * 0.1;
+            let k = gaussian_kernel_256(sigma);
+            assert!(k.center as i32 >= k.edge as i32 - 3, "sigma={sigma}: {k:?}");
+            assert!(k.edge as i32 >= k.corner as i32 - 3, "sigma={sigma}: {k:?}");
+        }
+    }
+
+    #[test]
+    fn small_sigma_concentrates_on_center() {
+        let k = gaussian_kernel_256(0.3);
+        assert!(k.center > 240, "{k:?}");
+        assert_eq!(k.corner, 0);
+    }
+
+    #[test]
+    fn large_sigma_flattens() {
+        let k = gaussian_kernel_256(10.0);
+        assert!(k.center as i32 - k.corner as i32 <= 4, "{k:?}");
+    }
+
+    #[test]
+    fn fixed_kernel_matches_sigma2_quantization() {
+        // The hand-picked fixed-GF constants are the σ=2 quantization with
+        // the residual absorbed by the center (33 -> 32).
+        let q = gaussian_kernel_256(2.0);
+        let f = fixed_gf_kernel();
+        assert_eq!(q.corner, f.corner);
+        assert_eq!(q.edge, f.edge);
+        assert!((q.center as i32 - f.center as i32).abs() <= 1);
+        assert_eq!(f.sum(), 256);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_spread() {
+        let ks = sigma_sweep_kernels(50);
+        assert_eq!(ks.len(), 50);
+        // center coefficient decreases as sigma grows
+        for w in ks.windows(2) {
+            assert!(w[0].center >= w[1].center);
+        }
+    }
+
+    #[test]
+    fn to_array_layout() {
+        let k = SymKernel {
+            corner: 1,
+            edge: 2,
+            center: 3,
+        };
+        assert_eq!(k.to_array(), [1, 2, 1, 2, 3, 2, 1, 2, 1]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # autoax-accel
+//!
+//! The three benchmark accelerators of the autoAx paper (Table 1), each
+//! with a software model (for QoR analysis), a hardware netlist builder
+//! (for synthesis-lite cost analysis) and an operand profiler (for the
+//! probability mass functions of Fig. 3):
+//!
+//! | Accelerator | Ops | Inventory |
+//! |-------------|-----|-----------|
+//! | [`sobel::SobelEd`] | 5 | 2× add8, 2× add9, 1× sub10 |
+//! | [`gaussian_fixed::FixedGaussian`] | 11 | 4× add8, 2× add9, 4× add16, 1× sub16 |
+//! | [`gaussian_generic::GenericGaussian`] | 17 | 9× mul8, 8× add16 |
+//!
+//! The fixed Gaussian filter realizes its constant coefficients with
+//! shift-add networks ([`mcm`], standing in for the paper's SPIRAL flow);
+//! the generic filter evaluates 50 σ ∈ [0.3, 0.8] kernels ([`kernels`]).
+//!
+//! # Example
+//!
+//! ```
+//! use autoax_accel::accelerator::{Accelerator, OpSet};
+//! use autoax_accel::sobel::SobelEd;
+//! use autoax_image::synthetic::benchmark_suite;
+//!
+//! let sobel = SobelEd::new();
+//! let imgs = benchmark_suite(1, 64, 48, 3);
+//! let exact = OpSet::exact(&sobel);
+//! let out = sobel.run(&imgs[0], &exact, 0);
+//! assert_eq!(out.width(), 64);
+//! ```
+
+pub mod accelerator;
+pub mod gaussian_fixed;
+pub mod gaussian_generic;
+pub mod kernels;
+pub mod mcm;
+pub mod profile;
+pub mod sobel;
+
+pub use accelerator::{Accelerator, CompiledOp, OpSet, OpSlot};
+pub use profile::Pmf;

@@ -1,0 +1,243 @@
+//! Multiplierless constant multiplication via canonical signed digit (CSD)
+//! shift-add decomposition — this repo's stand-in for the SPIRAL tool the
+//! paper uses to generate the fixed Gaussian filter's constant
+//! multipliers.
+//!
+//! A [`ShiftAddPlan`] decomposes `c * x` into a sequence of adds and
+//! subtracts of shifted terms. The CSD recoding guarantees a minimal
+//! number of non-zero digits (no two adjacent), hence at most
+//! `ceil(bits/2)` terms.
+
+/// One term of a shift-add expression: a previous value shifted left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Term {
+    /// Index of the source value: 0 = the input `x`, `i >= 1` = the result
+    /// of step `i - 1`.
+    pub source: usize,
+    /// Left shift applied to the source.
+    pub shift: u32,
+}
+
+/// One step of a plan: `lhs ± rhs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// Left operand.
+    pub lhs: Term,
+    /// Right operand.
+    pub rhs: Term,
+    /// `false` = add, `true` = subtract.
+    pub subtract: bool,
+}
+
+/// A shift-add realization of multiplication by a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShiftAddPlan {
+    /// The constant being realized.
+    pub constant: u32,
+    /// The steps, in dependency order. An empty plan means the constant is
+    /// a power of two (or zero) realized by `final_shift` alone.
+    pub steps: Vec<Step>,
+    /// Shift applied to the last value (input if `steps` is empty).
+    pub final_shift: u32,
+}
+
+impl ShiftAddPlan {
+    /// Number of adders (non-subtract steps).
+    pub fn adds(&self) -> usize {
+        self.steps.iter().filter(|s| !s.subtract).count()
+    }
+
+    /// Number of subtractors.
+    pub fn subs(&self) -> usize {
+        self.steps.iter().filter(|s| s.subtract).count()
+    }
+
+    /// Evaluates the plan on an input (for verification).
+    pub fn eval(&self, x: u64) -> u64 {
+        let mut values = vec![x];
+        for step in &self.steps {
+            let l = values[step.lhs.source] << step.lhs.shift;
+            let r = values[step.rhs.source] << step.rhs.shift;
+            values.push(if step.subtract {
+                l.wrapping_sub(r)
+            } else {
+                l + r
+            });
+        }
+        (*values.last().unwrap()) << self.final_shift
+    }
+}
+
+/// Canonical signed digit recoding: returns `(digit, weight)` pairs with
+/// digits in `{-1, +1}` and no two adjacent weights.
+pub fn csd_digits(c: u32) -> Vec<(i8, u32)> {
+    let mut digits = Vec::new();
+    let mut v = c as i64;
+    let mut weight = 0u32;
+    while v != 0 {
+        if v & 1 != 0 {
+            // choose +1 or -1 so the remaining value is even twice over
+            let d: i64 = if (v & 3) == 3 { -1 } else { 1 };
+            digits.push((d as i8, weight));
+            v -= d;
+        }
+        v >>= 1;
+        weight += 1;
+    }
+    digits
+}
+
+/// Builds a shift-add plan for `c * x` from the CSD recoding.
+///
+/// Digits are accumulated most-significant-first so every step's left
+/// operand is the running sum, matching how an MCM block would be laid
+/// out in hardware.
+///
+/// # Panics
+/// Panics if `c == 0` (a constant-zero product has no plan).
+pub fn csd_plan(c: u32) -> ShiftAddPlan {
+    assert!(c > 0, "constant must be non-zero");
+    let mut digits = csd_digits(c);
+    digits.sort_by(|a, b| b.1.cmp(&a.1)); // MSB first; first digit is +1
+    debug_assert_eq!(digits[0].0, 1, "CSD leading digit is positive");
+    if digits.len() == 1 {
+        return ShiftAddPlan {
+            constant: c,
+            steps: Vec::new(),
+            final_shift: digits[0].1,
+        };
+    }
+    // accumulate: acc = x << (w0 - w_last) then fold in remaining digits;
+    // to keep shifts non-negative we track the pending shift of the
+    // accumulator relative to the current digit weight.
+    let mut steps = Vec::new();
+    let mut acc_source = 0usize; // x
+    let mut acc_weight = digits[0].1;
+    for &(d, w) in &digits[1..] {
+        let step = Step {
+            lhs: Term {
+                source: acc_source,
+                shift: acc_weight - w,
+            },
+            rhs: Term { source: 0, shift: 0 },
+            subtract: d < 0,
+        };
+        steps.push(step);
+        acc_source = steps.len(); // value index of the step just pushed
+        acc_weight = w;
+    }
+    ShiftAddPlan {
+        constant: c,
+        steps,
+        final_shift: acc_weight,
+    }
+}
+
+/// The shift-add plans of the fixed Gaussian filter's three coefficients
+/// `{26, 30, 32}` (paper Fig. 2b, SPIRAL output): a binary decomposition
+/// for 26 (two adders), CSD for 30 (one subtractor) and a pure shift
+/// for 32 — yielding exactly the 4 add16 + 1 sub16 inventory of Table 1
+/// once the two product-summing adders are included.
+pub fn fixed_gf_plans() -> [ShiftAddPlan; 3] {
+    // 26 = (x<<4 + x<<3) + x<<1 — binary, two adds.
+    let p26 = ShiftAddPlan {
+        constant: 26,
+        steps: vec![
+            Step {
+                lhs: Term { source: 0, shift: 4 },
+                rhs: Term { source: 0, shift: 3 },
+                subtract: false,
+            },
+            Step {
+                lhs: Term { source: 1, shift: 0 },
+                rhs: Term { source: 0, shift: 1 },
+                subtract: false,
+            },
+        ],
+        final_shift: 0,
+    };
+    // 30 = x<<5 - x<<1 — one subtract.
+    let p30 = ShiftAddPlan {
+        constant: 30,
+        steps: vec![Step {
+            lhs: Term { source: 0, shift: 5 },
+            rhs: Term { source: 0, shift: 1 },
+            subtract: true,
+        }],
+        final_shift: 0,
+    };
+    // 32 = x<<5 — free.
+    let p32 = ShiftAddPlan {
+        constant: 32,
+        steps: Vec::new(),
+        final_shift: 5,
+    };
+    [p26, p30, p32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csd_digits_are_sparse() {
+        for c in 1u32..=1024 {
+            let d = csd_digits(c);
+            // reconstruct
+            let v: i64 = d.iter().map(|&(s, w)| s as i64 * (1i64 << w)).sum();
+            assert_eq!(v, c as i64, "c={c}");
+            // no two adjacent weights
+            let mut ws: Vec<u32> = d.iter().map(|&(_, w)| w).collect();
+            ws.sort_unstable();
+            for pair in ws.windows(2) {
+                assert!(pair[1] > pair[0] + 1, "adjacent CSD digits for {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn csd_plans_evaluate_correctly() {
+        for c in 1u32..=512 {
+            let plan = csd_plan(c);
+            for x in [0u64, 1, 7, 100, 255, 1023] {
+                assert_eq!(plan.eval(x), c as u64 * x, "c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_needs_no_ops() {
+        for sh in 0..10 {
+            let plan = csd_plan(1 << sh);
+            assert!(plan.steps.is_empty());
+            assert_eq!(plan.final_shift, sh);
+        }
+    }
+
+    #[test]
+    fn csd_op_count_is_small() {
+        // CSD guarantees at most ceil(bits/2) nonzero digits, i.e. ops <=
+        // digits - 1.
+        for c in 1u32..=255 {
+            let plan = csd_plan(c);
+            assert!(plan.steps.len() <= 4, "c={c} uses {} ops", plan.steps.len());
+        }
+    }
+
+    #[test]
+    fn fixed_gf_plans_are_correct_and_match_table1_budget() {
+        let [p26, p30, p32] = fixed_gf_plans();
+        for x in [0u64, 1, 100, 1020] {
+            assert_eq!(p26.eval(x), 26 * x);
+            assert_eq!(p30.eval(x), 30 * x);
+            assert_eq!(p32.eval(x), 32 * x);
+        }
+        // MCM ops: 2 adds (26) + 1 sub (30) + 0 (32); plus 2 product-sum
+        // adders = 4 add16 + 1 sub16 (Table 1).
+        let adds = p26.adds() + p30.adds() + p32.adds();
+        let subs = p26.subs() + p30.subs() + p32.subs();
+        assert_eq!(adds, 2);
+        assert_eq!(subs, 1);
+        assert_eq!(adds + 2, 4);
+    }
+}

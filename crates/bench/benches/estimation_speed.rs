@@ -1,0 +1,45 @@
+//! Criterion bench backing the paper's speed claim (Section 4.2): the
+//! model-based estimate of one configuration is ~1000× faster than the
+//! full analysis (10 s vs 0.01 s in the paper; the ratio, not the absolute
+//! numbers, is the reproduction target).
+
+use autoax::evaluate::Evaluator;
+use autoax::model::{fit_models, EvaluatedSet};
+use autoax::preprocess::{preprocess, PreprocessOptions};
+use autoax_accel::sobel::SobelEd;
+use autoax_circuit::charlib::{build_library, LibraryConfig};
+use autoax_image::synthetic::benchmark_suite;
+use autoax_ml::EngineKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_estimation_vs_real(c: &mut Criterion) {
+    let accel = SobelEd::new();
+    let lib = build_library(&LibraryConfig::tiny());
+    let images = benchmark_suite(2, 96, 64, 3);
+    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+    let evaluator = Evaluator::new(&accel, &lib, &pre.space, &images);
+    let train = EvaluatedSet::generate(&evaluator, &pre.space, 60, 1);
+    let models =
+        fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit");
+    let mut rng = StdRng::seed_from_u64(5);
+    let config = pre.space.random(&mut rng);
+
+    let mut group = c.benchmark_group("configuration_analysis");
+    group.sample_size(20);
+    group.bench_function("model_estimate", |b| {
+        b.iter(|| black_box(models.estimate(&pre.space, &lib, black_box(&config))))
+    });
+    group.bench_function("real_qor_simulation", |b| {
+        b.iter(|| black_box(evaluator.evaluate_qor(black_box(&config))))
+    });
+    group.bench_function("real_hw_synthesis", |b| {
+        b.iter(|| black_box(evaluator.evaluate_hw(black_box(&config))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation_vs_real);
+criterion_main!(benches);

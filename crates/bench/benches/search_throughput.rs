@@ -1,0 +1,66 @@
+//! Criterion bench: throughput of the Pareto-construction algorithms
+//! (Algorithm 1 and random sampling) per model evaluation — the paper runs
+//! 10⁶ iterations in 3 hours including model calls.
+
+use autoax::model::{fit_models, EvaluatedSet};
+use autoax::evaluate::Evaluator;
+use autoax::pareto::TradeoffPoint;
+use autoax::preprocess::{preprocess, PreprocessOptions};
+use autoax::search::{heuristic_pareto, random_sampling, SearchOptions};
+use autoax::Configuration;
+use autoax_accel::sobel::SobelEd;
+use autoax_circuit::charlib::{build_library, LibraryConfig};
+use autoax_image::synthetic::benchmark_suite;
+use autoax_ml::EngineKind;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let accel = SobelEd::new();
+    let lib = build_library(&LibraryConfig::tiny());
+    let images = benchmark_suite(2, 96, 64, 3);
+    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+    let evaluator = Evaluator::new(&accel, &lib, &pre.space, &images);
+    let train = EvaluatedSet::generate(&evaluator, &pre.space, 60, 1);
+    let models =
+        fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit");
+    let estimator = |cfg: &Configuration| {
+        let (q, hw) = models.estimate(&pre.space, &lib, cfg);
+        TradeoffPoint::new(q, hw)
+    };
+
+    let evals = 2000usize;
+    let mut group = c.benchmark_group("pareto_construction");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(evals as u64));
+    group.bench_function("algorithm1_hill_climbing", |b| {
+        b.iter(|| {
+            black_box(heuristic_pareto(
+                &pre.space,
+                &estimator,
+                &SearchOptions {
+                    max_evals: evals,
+                    stagnation_limit: 50,
+                    seed: 3,
+                },
+            ))
+        })
+    });
+    group.bench_function("random_sampling", |b| {
+        b.iter(|| {
+            black_box(random_sampling(
+                &pre.space,
+                &estimator,
+                &SearchOptions {
+                    max_evals: evals,
+                    stagnation_limit: 50,
+                    seed: 3,
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

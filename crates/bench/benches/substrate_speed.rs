@@ -1,0 +1,63 @@
+//! Criterion bench of the substrate layers: bit-parallel logic
+//! simulation, synthesis-lite, exhaustive characterization and SSIM —
+//! the costs that determine every "real analysis" second in the pipeline.
+
+use autoax_circuit::approx::muls::MulKind;
+use autoax_circuit::approx::Behavior;
+use autoax_circuit::arith::{array_multiplier, ripple_carry_adder};
+use autoax_circuit::sim::{eval_binop_batch, exhaustive_outputs};
+use autoax_circuit::synth::synthesize;
+use autoax_image::ssim::ssim;
+use autoax_image::synthetic::benchmark_suite;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let add8 = ripple_carry_adder(8);
+    let mul8 = array_multiplier(8, 8);
+    let mut group = c.benchmark_group("bit_parallel_simulation");
+    group.throughput(Throughput::Elements(65_536));
+    group.bench_function("add8_exhaustive_65536", |b| {
+        b.iter(|| black_box(exhaustive_outputs(black_box(&add8))))
+    });
+    group.bench_function("mul8_exhaustive_65536", |b| {
+        b.iter(|| black_box(exhaustive_outputs(black_box(&mul8))))
+    });
+    let pairs = autoax_circuit::util::stimulus_pairs(8, 8, 4096, 1);
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("mul8_sampled_4096", |b| {
+        b.iter(|| black_box(eval_binop_batch(black_box(&mul8), 8, 8, black_box(&pairs))))
+    });
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mul8 = array_multiplier(8, 8);
+    let bam = Behavior::Multiplier {
+        wa: 8,
+        wb: 8,
+        kind: MulKind::Bam { vbl: 8, hbl: 2 },
+    }
+    .build_netlist();
+    let mut group = c.benchmark_group("synthesis_lite");
+    group.bench_function("mul8_exact", |b| {
+        b.iter(|| black_box(synthesize(black_box(&mul8))))
+    });
+    group.bench_function("mul8_bam", |b| {
+        b.iter(|| black_box(synthesize(black_box(&bam))))
+    });
+    group.finish();
+}
+
+fn bench_ssim(c: &mut Criterion) {
+    let imgs = benchmark_suite(2, 384, 256, 9);
+    let mut group = c.benchmark_group("qor_metrics");
+    group.sample_size(20);
+    group.bench_function("ssim_384x256", |b| {
+        b.iter(|| black_box(ssim(black_box(&imgs[0]), black_box(&imgs[1]))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_synthesis, bench_ssim);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates **Table 2**: the number of approximate circuits per
+//! operation class in the generated library.
+//!
+//! At `--scale paper` the generator targets the paper's exact counts
+//! (6979 / 332 / 884 / 365 / 460 / 29911); smaller scales keep the
+//! relative proportions.
+//!
+//! ```sh
+//! cargo run --release -p autoax-bench --bin table2 -- --scale default
+//! ```
+
+use autoax_bench::{write_csv, Scale};
+use autoax_circuit::charlib::build_library;
+use autoax_circuit::OpSignature;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = scale.library_config();
+    println!(
+        "Table 2: Approximate circuits included in the library (scale: {})",
+        scale.label()
+    );
+    let t0 = Instant::now();
+    let lib = build_library(&cfg);
+    let dt = t0.elapsed();
+    println!(
+        "{:<10} {:>10} {:>10}",
+        "instance", "target", "generated"
+    );
+    let mut rows = Vec::new();
+    for sig in OpSignature::PAPER_CLASSES {
+        let target = cfg.counts.for_signature(sig);
+        let got = lib.class_size(sig);
+        println!("{:<10} {:>10} {:>10}", sig.to_string(), target, got);
+        assert!(
+            got >= target * 95 / 100,
+            "{sig}: generated {got} < 95% of target {target}"
+        );
+        rows.push(vec![sig.to_string(), target.to_string(), got.to_string()]);
+    }
+    println!(
+        "total: {} circuits, generated + characterized in {:.1?}",
+        lib.total_size(),
+        dt
+    );
+    // characterization sanity: every entry priced and error-profiled
+    for sig in OpSignature::PAPER_CLASSES {
+        for e in lib.class(sig) {
+            assert!(e.hw.area > 0.0);
+            assert!(e.err.samples > 0);
+        }
+        assert!(lib.class(sig)[0].is_exact());
+    }
+    write_csv("table2.csv", "class,target,generated", &rows);
+}

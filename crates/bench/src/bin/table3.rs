@@ -1,0 +1,123 @@
+//! Regenerates **Table 3**: fidelity of the SSIM and area models for the
+//! Sobel edge detector across all fourteen learning engines (thirteen
+//! scikit-learn-style regressors plus the naïve models).
+//!
+//! The reproduction target is the *shape*: tree ensembles on top, linear
+//! models around the naïve baseline, the Gaussian process overfitting
+//! (train ≫ test), and SGD at the bottom.
+//!
+//! ```sh
+//! cargo run --release -p autoax-bench --bin table3 -- --scale default
+//! ```
+
+use autoax::evaluate::Evaluator;
+use autoax::model::{fidelity_report, fit_models, naive_models, EvaluatedSet};
+use autoax::preprocess::{preprocess, PreprocessOptions};
+use autoax_accel::sobel::SobelEd;
+use autoax_bench::{sobel_image_suite, write_csv, Scale};
+use autoax_circuit::charlib::build_library;
+use autoax_ml::EngineKind;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let accel = SobelEd::new();
+    println!("building library (scale {}) ...", scale.label());
+    let lib = build_library(&scale.library_config());
+    let images = sobel_image_suite(scale);
+    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+    let (train_n, test_n) = scale.model_budget();
+    println!(
+        "generating {train_n} training + {test_n} testing configurations (real evaluations) ..."
+    );
+    let t0 = Instant::now();
+    let evaluator = Evaluator::new(&accel, &lib, &pre.space, &images);
+    let train = EvaluatedSet::generate(&evaluator, &pre.space, train_n, 1);
+    let test = EvaluatedSet::generate(&evaluator, &pre.space, test_n, 2);
+    println!("  data ready in {:.1?}", t0.elapsed());
+
+    println!(
+        "\nTable 3: fidelity of models for Sobel ED\n{:<28} {:>9} {:>9} {:>9} {:>9}",
+        "Learning algorithm", "SSIM-trn", "SSIM-tst", "Area-trn", "Area-tst"
+    );
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for kind in EngineKind::ALL {
+        let t = Instant::now();
+        let models = match fit_models(kind, &pre.space, &lib, &train, 42) {
+            Ok(m) => m,
+            Err(e) => {
+                println!("{:<28} failed: {e}", kind.name());
+                continue;
+            }
+        };
+        let rep = fidelity_report(&models, &pre.space, &lib, &train, &test);
+        println!(
+            "{:<28} {:>8.0}% {:>8.0}% {:>8.0}% {:>8.0}%   ({:.1?})",
+            kind.name(),
+            rep.qor_train * 100.0,
+            rep.qor_test * 100.0,
+            rep.hw_train * 100.0,
+            rep.hw_test * 100.0,
+            t.elapsed()
+        );
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.3}", rep.qor_train),
+            format!("{:.3}", rep.qor_test),
+            format!("{:.3}", rep.hw_train),
+            format!("{:.3}", rep.hw_test),
+        ]);
+        results.push((kind, rep));
+    }
+    // naive models
+    let naive = naive_models(&pre.space);
+    let nrep = fidelity_report(&naive, &pre.space, &lib, &train, &test);
+    println!(
+        "{:<28} {:>9} {:>8.0}% {:>9} {:>8.0}%",
+        "Naive model", "—", nrep.qor_test * 100.0, "—", nrep.hw_test * 100.0
+    );
+    rows.push(vec![
+        "Naive model".to_string(),
+        String::new(),
+        format!("{:.3}", nrep.qor_test),
+        String::new(),
+        format!("{:.3}", nrep.hw_test),
+    ]);
+    write_csv(
+        "table3.csv",
+        "engine,ssim_train,ssim_test,area_train,area_test",
+        &rows,
+    );
+
+    // The paper's qualitative claims:
+    let get = |k: EngineKind| results.iter().find(|(kk, _)| *kk == k).map(|(_, r)| *r);
+    if let (Some(rf), Some(gp), Some(sgd)) = (
+        get(EngineKind::RandomForest),
+        get(EngineKind::GaussianProcess),
+        get(EngineKind::StochasticGradientDescent),
+    ) {
+        println!("\nshape checks:");
+        let best_test = results
+            .iter()
+            .map(|(_, r)| r.qor_test)
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "  random forest within 3% of best test SSIM fidelity: {}",
+            rf.qor_test >= best_test - 0.03
+        );
+        println!(
+            "  gaussian process overfits (train - test > 10%): {}",
+            gp.qor_train - gp.qor_test > 0.10
+        );
+        println!(
+            "  SGD worst family (test SSIM fidelity {:.0}%): {}",
+            sgd.qor_test * 100.0,
+            sgd.qor_test <= nrep.qor_test
+        );
+        println!(
+            "  learned area model beats naive sum-of-areas: {}",
+            rf.hw_test > nrep.hw_test
+        );
+    }
+}

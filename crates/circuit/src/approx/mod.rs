@@ -1,0 +1,203 @@
+//! Approximate circuit families.
+//!
+//! Each family is defined twice: as a fast *functional model* (plain
+//! integer arithmetic, used for software simulation and characterization)
+//! and as a *netlist builder* (used for hardware cost analysis). The two
+//! are kept equivalent by construction and verified by tests — the same
+//! contract the EvoApprox library gives its users (C model + Verilog
+//! netlist per circuit).
+//!
+//! Families implemented (paper Section 1 cites the originating lines of
+//! work):
+//!
+//! | Family | Inspired by | Parameters |
+//! |--------|-------------|------------|
+//! | truncation (zero / operand-pass) | classic truncation | cut width `k` |
+//! | [`adders::AdderKind::Loa`] | Lower-part OR Adder (Mahdiani et al.) | `k` |
+//! | [`adders::AdderKind::XorLower`] | ETA-I | `k` |
+//! | [`adders::AdderKind::Aca`] | Almost Correct Adder | window `r` |
+//! | [`adders::AdderKind::Gear`] | GeAr (Shafique et al., DAC'15) | `(r, p)` |
+//! | [`adders::AdderKind::Seg`] | QuAd (Hanif et al., DAC'17) | segmentation |
+//! | [`adders::AdderKind::CellRipple`] | approximate mirror adders (AMA/AXA) | per-bit cells |
+//! | [`muls::MulKind::Bam`] | Broken-Array Multiplier | `(vbl, hbl)` |
+//! | [`muls::MulKind::PerfRows`] | partial-product perforation | row mask |
+//! | [`muls::MulKind::Udm`] | Kulkarni 2×2 underdesigned multiplier | leaf mask |
+//! | [`muls::MulKind::CellGrid`] | array multiplier with approximate cells | cell grid |
+//! | [`mutate`] | CGP-evolved circuits (EvoApprox itself) | seed, #mutations |
+
+pub mod adders;
+pub mod cells;
+pub mod mutate;
+pub mod muls;
+pub mod subs;
+
+use crate::netlist::Netlist;
+use crate::{OpKind, OpSignature};
+use std::sync::Arc;
+
+pub use cells::FaCell;
+
+/// The complete description of one library circuit's behaviour: enough to
+/// evaluate it functionally *and* to rebuild its netlist deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Behavior {
+    /// An adder variant over `w`-bit operands.
+    Adder { w: u32, kind: adders::AdderKind },
+    /// A subtractor variant over `w`-bit operands (two's-complement
+    /// `w+1`-bit result).
+    Subtractor { w: u32, kind: subs::SubKind },
+    /// A multiplier variant over `wa × wb`-bit operands.
+    Multiplier {
+        wa: u32,
+        wb: u32,
+        kind: muls::MulKind,
+    },
+    /// An arbitrary netlist (produced by structural mutation); the netlist
+    /// *is* the behaviour.
+    Raw {
+        sig: OpSignature,
+        netlist: Arc<Netlist>,
+    },
+}
+
+impl Behavior {
+    /// The operation signature this behaviour implements.
+    pub fn signature(&self) -> OpSignature {
+        match self {
+            Behavior::Adder { w, .. } => OpSignature::new(OpKind::Add, *w as u8, *w as u8),
+            Behavior::Subtractor { w, .. } => OpSignature::new(OpKind::Sub, *w as u8, *w as u8),
+            Behavior::Multiplier { wa, wb, .. } => {
+                OpSignature::new(OpKind::Mul, *wa as u8, *wb as u8)
+            }
+            Behavior::Raw { sig, .. } => *sig,
+        }
+    }
+
+    /// Evaluates the circuit on one operand pair. Out-of-range operand bits
+    /// are masked off.
+    pub fn eval(&self, a: u64, b: u64) -> u64 {
+        let sig = self.signature();
+        let a = a & crate::util::mask(sig.width_a as u32);
+        let b = b & crate::util::mask(sig.width_b as u32);
+        match self {
+            Behavior::Adder { w, kind } => adders::eval(*w, kind, a, b),
+            Behavior::Subtractor { w, kind } => subs::eval(*w, kind, a, b),
+            Behavior::Multiplier { wa, wb, kind } => muls::eval(*wa, *wb, kind, a, b),
+            Behavior::Raw { sig, netlist } => {
+                crate::sim::eval_binop(netlist, sig.width_a as u32, sig.width_b as u32, a, b)
+            }
+        }
+    }
+
+    /// Evaluates a batch of operand pairs. For [`Behavior::Raw`] this uses
+    /// 64-way bit-parallel simulation; for parameterized families it calls
+    /// the functional model in a loop.
+    pub fn eval_batch(&self, pairs: &[(u64, u64)]) -> Vec<u64> {
+        match self {
+            Behavior::Raw { sig, netlist } => crate::sim::eval_binop_batch(
+                netlist,
+                sig.width_a as u32,
+                sig.width_b as u32,
+                pairs,
+            ),
+            _ => pairs.iter().map(|&(a, b)| self.eval(a, b)).collect(),
+        }
+    }
+
+    /// Builds (or clones) the gate-level netlist realizing this behaviour.
+    pub fn build_netlist(&self) -> Netlist {
+        match self {
+            Behavior::Adder { w, kind } => adders::build_netlist(*w, kind),
+            Behavior::Subtractor { w, kind } => subs::build_netlist(*w, kind),
+            Behavior::Multiplier { wa, wb, kind } => muls::build_netlist(*wa, *wb, kind),
+            Behavior::Raw { netlist, .. } => (**netlist).clone(),
+        }
+    }
+
+    /// A short human-readable family/parameter label (used in reports).
+    pub fn label(&self) -> String {
+        match self {
+            Behavior::Adder { kind, .. } => kind.label(),
+            Behavior::Subtractor { kind, .. } => kind.label(),
+            Behavior::Multiplier { kind, .. } => kind.label(),
+            Behavior::Raw { .. } => "mutant".to_string(),
+        }
+    }
+
+    /// The exact behaviour for a signature (entry 0 of every library class).
+    pub fn exact_for(sig: OpSignature) -> Behavior {
+        match sig.kind {
+            OpKind::Add => Behavior::Adder {
+                w: sig.width_a as u32,
+                kind: adders::AdderKind::Exact,
+            },
+            OpKind::Sub => Behavior::Subtractor {
+                w: sig.width_a as u32,
+                kind: subs::SubKind::Exact,
+            },
+            OpKind::Mul => Behavior::Multiplier {
+                wa: sig.width_a as u32,
+                wb: sig.width_b as u32,
+                kind: muls::MulKind::Exact,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_behaviors_match_signature_exact() {
+        for sig in OpSignature::PAPER_CLASSES {
+            let b = Behavior::exact_for(sig);
+            assert_eq!(b.signature(), sig);
+            for (x, y) in crate::util::stimulus_pairs(
+                sig.width_a as u32,
+                sig.width_b as u32,
+                300,
+                42,
+            ) {
+                assert_eq!(b.eval(x, y), sig.exact(x, y), "{sig} a={x} b={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_netlists_match_functional() {
+        for sig in OpSignature::PAPER_CLASSES {
+            let b = Behavior::exact_for(sig);
+            let n = b.build_netlist();
+            for (x, y) in crate::util::stimulus_pairs(
+                sig.width_a as u32,
+                sig.width_b as u32,
+                100,
+                7,
+            ) {
+                let f = b.eval(x, y);
+                let g = crate::sim::eval_binop(&n, sig.width_a as u32, sig.width_b as u32, x, y);
+                assert_eq!(f, g, "{sig} a={x} b={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_batch_matches_eval() {
+        let b = Behavior::Adder {
+            w: 8,
+            kind: adders::AdderKind::Loa { k: 3 },
+        };
+        let pairs = crate::util::stimulus_pairs(8, 8, 500, 5);
+        let batch = b.eval_batch(&pairs);
+        for (i, &(x, y)) in pairs.iter().enumerate() {
+            assert_eq!(batch[i], b.eval(x, y));
+        }
+    }
+
+    #[test]
+    fn eval_masks_out_of_range_operands() {
+        let b = Behavior::exact_for(OpSignature::ADD8);
+        assert_eq!(b.eval(0x1FF, 0), 0xFF); // high bit masked
+    }
+}

@@ -1,0 +1,152 @@
+//! Seeded structural mutation of netlists — the mechanism that gives the
+//! generated library EvoApprox-like diversity.
+//!
+//! EvoApprox8b was produced by Cartesian Genetic Programming: random
+//! structural mutations of working circuits, filtered by error and cost.
+//! This module reproduces the *generator* side of that process: starting
+//! from an exact netlist, apply `n_mutations` random edits (gate kind
+//! change, input rewire to an earlier net, stuck-at constant), keeping the
+//! interface intact. The caller is expected to characterize the result and
+//! discard garbage (the autoAx library pre-processing step does exactly
+//! that).
+
+use crate::cell::CellKind;
+use crate::netlist::{NetId, Netlist};
+use crate::util::splitmix64;
+
+/// Kinds of cells a mutation may substitute in (constants excluded here;
+/// stuck-at mutations are a separate move).
+const MUTABLE_KINDS: [CellKind; 10] = [
+    CellKind::Buf,
+    CellKind::Inv,
+    CellKind::And2,
+    CellKind::Or2,
+    CellKind::Nand2,
+    CellKind::Nor2,
+    CellKind::Xor2,
+    CellKind::Xnor2,
+    CellKind::Mux2,
+    CellKind::Maj3,
+];
+
+/// Applies `n_mutations` random structural edits to a copy of `base`.
+///
+/// Moves, chosen uniformly:
+/// 1. **kind change** — replace a gate's cell with a random other kind
+///    (inputs are reused; arity differences are safe because extra input
+///    slots are ignored);
+/// 2. **rewire** — redirect one input of a gate to a random earlier net;
+/// 3. **stuck-at** — replace a gate with a constant 0 or 1.
+///
+/// The primary input/output interface of the netlist is unchanged, so the
+/// mutant remains a drop-in replacement for the base circuit.
+pub fn mutate_netlist(base: &Netlist, n_mutations: u32, seed: u64) -> Netlist {
+    let mut st = seed ^ 0xDEAD_BEEF_CAFE_F00D;
+    let mut out = base.clone();
+    let n_in = out.input_count() as u32;
+    let n_gates = out.gate_count();
+    if n_gates == 0 {
+        return out;
+    }
+    // We rebuild by editing the gate list in place via a Vec copy.
+    let mut gates = out.gates().to_vec();
+    for _ in 0..n_mutations {
+        let gi = (splitmix64(&mut st) % n_gates as u64) as usize;
+        match splitmix64(&mut st) % 3 {
+            0 => {
+                let k = MUTABLE_KINDS[(splitmix64(&mut st) % MUTABLE_KINDS.len() as u64) as usize];
+                gates[gi].kind = k;
+            }
+            1 => {
+                let slot = (splitmix64(&mut st) % 3) as usize;
+                // any net strictly before this gate's output net
+                let limit = n_in as u64 + gi as u64;
+                if limit > 0 {
+                    let target = NetId((splitmix64(&mut st) % limit) as u32);
+                    gates[gi].ins[slot] = target;
+                }
+            }
+            _ => {
+                gates[gi].kind = if splitmix64(&mut st) & 1 == 0 {
+                    CellKind::Const0
+                } else {
+                    CellKind::Const1
+                };
+            }
+        }
+    }
+    // Reassemble a netlist with the mutated gates; ins of constants are
+    // normalized to NetId(0) padding semantics automatically by eval.
+    let mut rebuilt = Netlist::new(format!("{}_mut{seed:x}", base.name()));
+    for _ in 0..n_in {
+        rebuilt.input();
+    }
+    for g in &gates {
+        rebuilt.push(g.kind, g.ins);
+    }
+    rebuilt.set_outputs(out.outputs().to_vec());
+    out = rebuilt;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::ripple_carry_adder;
+    use crate::sim::eval_binop;
+
+    #[test]
+    fn mutation_preserves_interface() {
+        let base = ripple_carry_adder(8);
+        let m = mutate_netlist(&base, 5, 42);
+        assert_eq!(m.input_count(), base.input_count());
+        assert_eq!(m.outputs().len(), base.outputs().len());
+        assert_eq!(m.gate_count(), base.gate_count());
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let base = ripple_carry_adder(8);
+        let m1 = mutate_netlist(&base, 5, 42);
+        let m2 = mutate_netlist(&base, 5, 42);
+        assert_eq!(m1, m2);
+        let m3 = mutate_netlist(&base, 5, 43);
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn zero_mutations_is_identity_function() {
+        let base = ripple_carry_adder(6);
+        let m = mutate_netlist(&base, 0, 1);
+        for (a, b) in crate::util::stimulus_pairs(6, 6, 200, 2) {
+            assert_eq!(eval_binop(&m, 6, 6, a, b), a + b);
+        }
+    }
+
+    #[test]
+    fn mutants_remain_simulable() {
+        let base = ripple_carry_adder(8);
+        for seed in 0..20 {
+            let m = mutate_netlist(&base, 8, seed);
+            // Must not panic and must produce in-range outputs.
+            let v = eval_binop(&m, 8, 8, 200, 100);
+            assert!(v <= 0x1FF);
+        }
+    }
+
+    #[test]
+    fn some_mutants_differ_from_exact() {
+        let base = ripple_carry_adder(8);
+        let mut differing = 0;
+        for seed in 0..20 {
+            let m = mutate_netlist(&base, 4, seed);
+            let differs = crate::util::stimulus_pairs(8, 8, 100, seed)
+                .iter()
+                .any(|&(a, b)| eval_binop(&m, 8, 8, a, b) != a + b);
+            if differs {
+                differing += 1;
+            }
+        }
+        assert!(differing >= 10, "only {differing}/20 mutants differ");
+    }
+}

@@ -1,0 +1,201 @@
+//! Alternative *exact* arithmetic architectures: carry-lookahead adders
+//! and Wallace-tree multipliers.
+//!
+//! Real component libraries (and EvoApprox in particular) contain several
+//! accurate implementations per operation with different area/delay
+//! trade-offs — a fast wide adder costs more area than a ripple chain.
+//! These architectures enrich the hardware dimension of the generated
+//! library and give the delay-aware cost models something to learn.
+
+use crate::netlist::{Bus, NetId, Netlist};
+
+/// Builds a `w`-bit flat carry-lookahead adder: every carry is computed
+/// as two-level logic over the generate/propagate signals, with balanced
+/// AND/OR trees. Inputs `a[w] ++ b[w]`, output `sum[w+1]`.
+///
+/// Compared to the ripple-carry adder this trades area for delay
+/// aggressively: the carry into bit `i` costs `O(i)` product terms, but
+/// the critical path grows only logarithmically in `w`.
+pub fn carry_lookahead_adder(w: u32) -> Netlist {
+    let mut n = Netlist::new(format!("add{w}_cla"));
+    let a = n.input_bus(w as usize);
+    let b = n.input_bus(w as usize);
+    let sum = cla_add_into(&mut n, &a, &b);
+    n.push_output_bus(&sum);
+    n
+}
+
+/// Balanced binary reduction of a net list with a 2-input combiner.
+fn reduce_tree(
+    n: &mut Netlist,
+    mut nets: Vec<NetId>,
+    combine: fn(&mut Netlist, NetId, NetId) -> NetId,
+) -> NetId {
+    assert!(!nets.is_empty());
+    while nets.len() > 1 {
+        let mut next = Vec::with_capacity(nets.len().div_ceil(2));
+        for pair in nets.chunks(2) {
+            next.push(if pair.len() == 2 {
+                combine(n, pair[0], pair[1])
+            } else {
+                pair[0]
+            });
+        }
+        nets = next;
+    }
+    nets[0]
+}
+
+/// Flat CLA addition of two equal-width buses inside an existing netlist.
+pub fn cla_add_into(n: &mut Netlist, a: &Bus, b: &Bus) -> Bus {
+    assert_eq!(a.width(), b.width());
+    let w = a.width();
+    // generate / propagate per bit
+    let g: Vec<NetId> = (0..w).map(|i| n.and2(a.bit(i), b.bit(i))).collect();
+    let p: Vec<NetId> = (0..w).map(|i| n.xor2(a.bit(i), b.bit(i))).collect();
+    // c_{i} = OR_{j < i} ( g_j AND p_{j+1} AND ... AND p_{i-1} )
+    let mut carries: Vec<NetId> = Vec::with_capacity(w + 1);
+    carries.push(n.const0());
+    for i in 1..=w {
+        let mut terms = Vec::with_capacity(i);
+        for j in 0..i {
+            let mut literals = vec![g[j]];
+            literals.extend_from_slice(&p[j + 1..i]);
+            terms.push(reduce_tree(n, literals, Netlist::and2));
+        }
+        carries.push(reduce_tree(n, terms, Netlist::or2));
+    }
+    let mut bits: Vec<NetId> = (0..w).map(|i| n.xor2(p[i], carries[i])).collect();
+    bits.push(carries[w]);
+    Bus(bits)
+}
+
+/// Builds a `wa × wb` Wallace-tree multiplier: partial products are
+/// reduced with carry-save 3:2 compressors, then summed by a final CLA.
+/// Same function as [`crate::arith::array_multiplier`], shorter critical
+/// path, more cells.
+pub fn wallace_multiplier(wa: u32, wb: u32) -> Netlist {
+    let mut n = Netlist::new(format!("mul{wa}x{wb}_wallace"));
+    let a = n.input_bus(wa as usize);
+    let b = n.input_bus(wb as usize);
+    // column-wise partial-product collection
+    let wout = (wa + wb) as usize;
+    let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); wout];
+    for i in 0..wb as usize {
+        for j in 0..wa as usize {
+            let pp = n.and2(a.bit(j), b.bit(i));
+            columns[i + j].push(pp);
+        }
+    }
+    // carry-save reduction to depth <= 2
+    loop {
+        let max_height = columns.iter().map(Vec::len).max().unwrap_or(0);
+        if max_height <= 2 {
+            break;
+        }
+        let mut next: Vec<Vec<NetId>> = vec![Vec::new(); wout];
+        for (col, nets) in columns.iter().enumerate() {
+            let mut idx = 0;
+            while nets.len() - idx >= 3 {
+                let (s, c) = n.full_adder(nets[idx], nets[idx + 1], nets[idx + 2]);
+                next[col].push(s);
+                if col + 1 < wout {
+                    next[col + 1].push(c);
+                }
+                idx += 3;
+            }
+            if nets.len() - idx == 2 && nets.len() > 2 {
+                let (s, c) = n.half_adder(nets[idx], nets[idx + 1]);
+                next[col].push(s);
+                if col + 1 < wout {
+                    next[col + 1].push(c);
+                }
+                idx += 2;
+            }
+            for &rest in &nets[idx..] {
+                next[col].push(rest);
+            }
+        }
+        columns = next;
+    }
+    // final two rows summed with a CLA
+    let zero = n.const0();
+    let row0: Vec<NetId> = columns
+        .iter()
+        .map(|c| c.first().copied().unwrap_or(zero))
+        .collect();
+    let row1: Vec<NetId> = columns
+        .iter()
+        .map(|c| c.get(1).copied().unwrap_or(zero))
+        .collect();
+    let total = cla_add_into(&mut n, &Bus(row0), &Bus(row1));
+    n.push_output_bus(&Bus(total.0[..wout].to_vec()));
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{array_multiplier, ripple_carry_adder};
+    use crate::sim::{check_equivalence, eval_binop, exhaustive_outputs};
+    use crate::synth::{critical_path, synthesize};
+
+    #[test]
+    fn cla_is_functionally_exact() {
+        for w in [4u32, 7, 8, 16] {
+            let cla = carry_lookahead_adder(w);
+            if w <= 8 {
+                let outs = exhaustive_outputs(&cla);
+                for v in 0..(1u64 << (2 * w)) {
+                    let a = v & crate::util::mask(w);
+                    let b = v >> w;
+                    assert_eq!(outs[v as usize], a + b, "w={w} a={a} b={b}");
+                }
+            } else {
+                for (a, b) in crate::util::stimulus_pairs(w, w, 400, 5) {
+                    assert_eq!(eval_binop(&cla, w, w, a, b), a + b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cla_trades_area_for_delay_on_wide_adders() {
+        let (_, rca) = synthesize(&ripple_carry_adder(16));
+        let (_, cla) = synthesize(&carry_lookahead_adder(16));
+        assert!(cla.delay < rca.delay, "CLA {} !< RCA {}", cla.delay, rca.delay);
+        assert!(cla.area > rca.area, "CLA should pay area for speed");
+    }
+
+    #[test]
+    fn wallace_matches_array_multiplier() {
+        let wal = wallace_multiplier(8, 8);
+        let arr = array_multiplier(8, 8);
+        assert!(check_equivalence(&wal, &arr, 0, 0).is_none());
+    }
+
+    #[test]
+    fn wallace_small_widths_exhaustive() {
+        for (wa, wb) in [(4u32, 4u32), (5, 3), (3, 5)] {
+            let wal = wallace_multiplier(wa, wb);
+            let outs = exhaustive_outputs(&wal);
+            for v in 0..(1u64 << (wa + wb)) {
+                let a = v & crate::util::mask(wa);
+                let b = v >> wa;
+                assert_eq!(outs[v as usize], a * b, "{wa}x{wb} a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_is_faster_than_array() {
+        let arr = array_multiplier(8, 8);
+        let wal = wallace_multiplier(8, 8);
+        assert!(
+            critical_path(&wal) < critical_path(&arr),
+            "wallace {} !< array {}",
+            critical_path(&wal),
+            critical_path(&arr)
+        );
+    }
+}

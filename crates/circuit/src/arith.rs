@@ -1,0 +1,229 @@
+//! Exact arithmetic circuit builders: ripple-carry adders, two's-complement
+//! subtractors and array multipliers. These are both the accurate baselines
+//! of every library class and the structural skeletons that the approximate
+//! families in [`crate::approx`] modify.
+
+use crate::netlist::{Bus, NetId, Netlist};
+
+/// Builds a `w`-bit ripple-carry adder: inputs `a[w] ++ b[w]`, output
+/// `sum[w+1]` (the MSB is the carry out).
+///
+/// ```
+/// use autoax_circuit::arith::ripple_carry_adder;
+/// use autoax_circuit::sim::eval_binop;
+/// let add = ripple_carry_adder(8);
+/// assert_eq!(eval_binop(&add, 8, 8, 255, 255), 510);
+/// ```
+pub fn ripple_carry_adder(w: u32) -> Netlist {
+    let mut n = Netlist::new(format!("add{w}_exact"));
+    let a = n.input_bus(w as usize);
+    let b = n.input_bus(w as usize);
+    let sum = ripple_add_into(&mut n, &a, &b, None);
+    n.push_output_bus(&sum);
+    n
+}
+
+/// Adds buses `a` and `b` inside an existing netlist with optional carry-in;
+/// returns the `max(wa, wb) + 1`-bit sum bus. Buses of different widths are
+/// allowed (the shorter one is zero-extended without cost).
+pub fn ripple_add_into(n: &mut Netlist, a: &Bus, b: &Bus, cin: Option<NetId>) -> Bus {
+    let w = a.width().max(b.width());
+    let mut bits = Vec::with_capacity(w + 1);
+    let mut carry = cin;
+    for i in 0..w {
+        match (a.0.get(i).copied(), b.0.get(i).copied()) {
+            (Some(x), Some(y)) => {
+                let (s, c) = match carry {
+                    None => n.half_adder(x, y),
+                    Some(ci) => n.full_adder(x, y, ci),
+                };
+                bits.push(s);
+                carry = Some(c);
+            }
+            (Some(x), None) | (None, Some(x)) => match carry {
+                None => bits.push(x),
+                Some(ci) => {
+                    let (s, c) = n.half_adder(x, ci);
+                    bits.push(s);
+                    carry = Some(c);
+                }
+            },
+            (None, None) => unreachable!(),
+        }
+    }
+    let top = match carry {
+        Some(c) => c,
+        None => n.const0(),
+    };
+    bits.push(top);
+    Bus(bits)
+}
+
+/// Builds a `w`-bit subtractor: inputs `a[w] ++ b[w]`, output
+/// `diff[w+1]` in two's complement (MSB is the sign).
+///
+/// Implemented as `a + !b + 1`; the sign bit of the `(w+1)`-bit result is
+/// correct for all unsigned operands because `|a - b| < 2^w`.
+pub fn ripple_subtractor(w: u32) -> Netlist {
+    let mut n = Netlist::new(format!("sub{w}_exact"));
+    let a = n.input_bus(w as usize);
+    let b = n.input_bus(w as usize);
+    let diff = ripple_sub_into(&mut n, &a, &b);
+    n.push_output_bus(&diff);
+    n
+}
+
+/// Subtracts bus `b` from bus `a` inside an existing netlist, returning the
+/// `(w+1)`-bit two's-complement difference.
+pub fn ripple_sub_into(n: &mut Netlist, a: &Bus, b: &Bus) -> Bus {
+    let w = a.width().max(b.width());
+    let zero = n.const0();
+    let ext = |bus: &Bus, i: usize| bus.0.get(i).copied().unwrap_or(zero);
+    let mut bits = Vec::with_capacity(w + 1);
+    // carry-in 1 and inverted b implements a - b
+    let mut carry = n.const1();
+    let mut carry_w = carry;
+    for i in 0..w {
+        let x = ext(a, i);
+        let nb = {
+            let y = ext(b, i);
+            n.inv(y)
+        };
+        let (s, c) = n.full_adder(x, nb, carry);
+        bits.push(s);
+        carry = c;
+        carry_w = c;
+    }
+    // Sign bit: carry-out of (a + !b + 1) over w bits is 1 iff a >= b, so
+    // the two's-complement sign of the (w+1)-bit result is !carry.
+    let sign = n.inv(carry_w);
+    bits.push(sign);
+    Bus(bits)
+}
+
+/// Builds a `wa × wb` unsigned array multiplier: inputs `a[wa] ++ b[wb]`,
+/// output `p[wa+wb]`.
+///
+/// The structure is the classic carry-propagate array: partial-product row
+/// `i` (`a & b_i`) is accumulated into the running sum with a ripple chain.
+/// Approximate multiplier families reuse this skeleton with cells removed
+/// (BAM, truncation) or substituted (see `crate::approx::cells`).
+pub fn array_multiplier(wa: u32, wb: u32) -> Netlist {
+    let mut n = Netlist::new(format!("mul{wa}x{wb}_exact"));
+    let a = n.input_bus(wa as usize);
+    let b = n.input_bus(wb as usize);
+    let p = array_multiply_into(&mut n, &a, &b);
+    n.push_output_bus(&p);
+    n
+}
+
+/// Multiplies buses `a` and `b` inside an existing netlist, returning the
+/// `wa + wb`-bit product bus.
+pub fn array_multiply_into(n: &mut Netlist, a: &Bus, b: &Bus) -> Bus {
+    let wa = a.width();
+    let wb = b.width();
+    let zero = n.const0();
+    // Row 0: p = a & b0
+    let mut acc: Vec<NetId> = (0..wa + wb).map(|_| zero).collect();
+    for (j, &aj) in a.iter().enumerate() {
+        acc[j] = n.and2(aj, b.bit(0));
+    }
+    // Rows 1..wb: acc[i..] += (a & b_i) << i
+    for i in 1..wb {
+        let bi = b.bit(i);
+        let mut carry = zero;
+        for j in 0..wa {
+            let pp = n.and2(a.bit(j), bi);
+            let (s, c) = n.full_adder(acc[i + j], pp, carry);
+            acc[i + j] = s;
+            carry = c;
+        }
+        // propagate final carry into the next column
+        if i + wa < wa + wb {
+            acc[i + wa] = carry;
+        }
+    }
+    Bus(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{eval_binop, exhaustive_outputs};
+    use crate::OpSignature;
+
+    #[test]
+    fn adder_exhaustive_8bit() {
+        let add = ripple_carry_adder(8);
+        let outs = exhaustive_outputs(&add);
+        for v in 0u64..65536 {
+            let a = v & 0xFF;
+            let b = v >> 8;
+            assert_eq!(outs[v as usize], a + b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn adder_mixed_width_buses() {
+        let mut n = Netlist::new("mixed");
+        let a = n.input_bus(6);
+        let b = n.input_bus(3);
+        let s = ripple_add_into(&mut n, &a, &b, None);
+        n.push_output_bus(&s);
+        for (a, b) in [(63u64, 7u64), (0, 0), (32, 5), (63, 0)] {
+            let packed = eval_binop(&n, 6, 3, a, b);
+            assert_eq!(packed, a + b);
+        }
+    }
+
+    #[test]
+    fn subtractor_exhaustive_6bit() {
+        let sub = ripple_subtractor(6);
+        let sig = OpSignature::new(crate::OpKind::Sub, 6, 6);
+        let outs = exhaustive_outputs(&sub);
+        for v in 0u64..(1 << 12) {
+            let a = v & 0x3F;
+            let b = v >> 6;
+            let exp = sig.exact(a, b);
+            assert_eq!(outs[v as usize], exp, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn subtractor_sign_bit() {
+        let sub = ripple_subtractor(10);
+        let sig = OpSignature::SUB10;
+        for (a, b) in [(0u64, 1u64), (1023, 0), (500, 500), (12, 900)] {
+            let raw = eval_binop(&sub, 10, 10, a, b);
+            assert_eq!(sig.to_signed(raw), a as i64 - b as i64);
+        }
+    }
+
+    #[test]
+    fn multiplier_exhaustive_5x5() {
+        let mul = array_multiplier(5, 5);
+        let outs = exhaustive_outputs(&mul);
+        for v in 0u64..(1 << 10) {
+            let a = v & 0x1F;
+            let b = v >> 5;
+            assert_eq!(outs[v as usize], a * b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn multiplier_8x8_samples() {
+        let mul = array_multiplier(8, 8);
+        for (a, b) in crate::util::stimulus_pairs(8, 8, 500, 11) {
+            assert_eq!(eval_binop(&mul, 8, 8, a, b), a * b);
+        }
+        assert_eq!(eval_binop(&mul, 8, 8, 255, 255), 65025);
+    }
+
+    #[test]
+    fn multiplier_rectangular() {
+        let mul = array_multiplier(8, 4);
+        for (a, b) in crate::util::stimulus_pairs(8, 4, 300, 13) {
+            assert_eq!(eval_binop(&mul, 8, 4, a, b), a * b);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Error characterization of approximate circuits.
+//!
+//! Every library circuit is "fully characterized" (paper Section 1) with
+//! the standard error metrics of the approximate-computing literature:
+//! mean absolute error (MAE / MED), worst-case error (WCE), error rate
+//! (ER), mean squared error (MSE), error-distance variance, and mean
+//! relative error (MRE). The application-specific weighted mean error
+//! distance (WMED, paper Section 2.2) is computed later against a profiled
+//! probability mass function by `autoax::wmed`.
+
+/// Aggregate error metrics of one approximate circuit relative to the
+/// exact function of its class.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorMetrics {
+    /// Mean absolute error distance (MED).
+    pub mae: f64,
+    /// Worst-case absolute error observed.
+    pub wce: u64,
+    /// Fraction of inputs with a non-zero error.
+    pub er: f64,
+    /// Mean squared error distance.
+    pub mse: f64,
+    /// Variance of the signed error distance.
+    pub var_ed: f64,
+    /// Mean relative error (|err| / max(1, exact)).
+    pub mre: f64,
+    /// Number of samples the metrics were computed from.
+    pub samples: u64,
+}
+
+impl ErrorMetrics {
+    /// True when the circuit made no error on any characterized input.
+    pub fn is_exact(&self) -> bool {
+        self.wce == 0
+    }
+}
+
+/// Streaming accumulator for [`ErrorMetrics`].
+///
+/// ```
+/// use autoax_circuit::error::ErrorStats;
+/// let mut s = ErrorStats::new();
+/// s.push(0, 10);
+/// s.push(-2, 10);
+/// let m = s.finish();
+/// assert_eq!(m.wce, 2);
+/// assert_eq!(m.er, 0.5);
+/// assert_eq!(m.mae, 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ErrorStats {
+    n: u64,
+    n_err: u64,
+    sum_abs: f64,
+    sum_signed: f64,
+    sum_sq: f64,
+    sum_rel: f64,
+    max_abs: u64,
+}
+
+impl ErrorStats {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample: the signed error and the exact result magnitude
+    /// (used for the relative-error metric).
+    #[inline]
+    pub fn push(&mut self, err: i64, exact_magnitude: u64) {
+        let abs = err.unsigned_abs();
+        self.n += 1;
+        if abs != 0 {
+            self.n_err += 1;
+        }
+        self.sum_abs += abs as f64;
+        self.sum_signed += err as f64;
+        self.sum_sq += (err as f64) * (err as f64);
+        self.sum_rel += abs as f64 / (exact_magnitude.max(1) as f64);
+        self.max_abs = self.max_abs.max(abs);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Finalizes the metrics.
+    ///
+    /// Returns all-zero metrics when no samples were recorded.
+    pub fn finish(self) -> ErrorMetrics {
+        if self.n == 0 {
+            return ErrorMetrics::default();
+        }
+        let n = self.n as f64;
+        let mean_signed = self.sum_signed / n;
+        ErrorMetrics {
+            mae: self.sum_abs / n,
+            wce: self.max_abs,
+            er: self.n_err as f64 / n,
+            mse: self.sum_sq / n,
+            var_ed: (self.sum_sq / n - mean_signed * mean_signed).max(0.0),
+            mre: self.sum_rel / n,
+            samples: self.n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let m = ErrorStats::new().finish();
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.wce, 0);
+        assert_eq!(m.samples, 0);
+        assert!(m.is_exact());
+    }
+
+    #[test]
+    fn exact_circuit_metrics() {
+        let mut s = ErrorStats::new();
+        for _ in 0..100 {
+            s.push(0, 5);
+        }
+        let m = s.finish();
+        assert!(m.is_exact());
+        assert_eq!(m.er, 0.0);
+        assert_eq!(m.mse, 0.0);
+        assert_eq!(m.var_ed, 0.0);
+    }
+
+    #[test]
+    fn mixed_errors() {
+        let mut s = ErrorStats::new();
+        s.push(3, 10);
+        s.push(-3, 10);
+        s.push(0, 10);
+        s.push(0, 10);
+        let m = s.finish();
+        assert_eq!(m.mae, 1.5);
+        assert_eq!(m.wce, 3);
+        assert_eq!(m.er, 0.5);
+        assert_eq!(m.mse, 4.5);
+        // signed mean is 0 so variance == mse
+        assert_eq!(m.var_ed, 4.5);
+        assert!((m.mre - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wce_dominates_mae() {
+        let mut s = ErrorStats::new();
+        for e in [1i64, -2, 5, 0, 3] {
+            s.push(e, 100);
+        }
+        let m = s.finish();
+        assert!(m.wce as f64 >= m.mae);
+    }
+
+    #[test]
+    fn relative_error_guard_against_zero_exact() {
+        let mut s = ErrorStats::new();
+        s.push(4, 0); // exact result is zero; MRE uses max(1, exact)
+        let m = s.finish();
+        assert_eq!(m.mre, 4.0);
+    }
+}

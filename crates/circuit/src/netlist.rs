@@ -1,0 +1,529 @@
+//! Gate-level netlist intermediate representation.
+//!
+//! A [`Netlist`] is a topologically ordered sequence of gates over a set of
+//! nets. Nets are identified by [`NetId`]: ids `0..n_inputs` are the primary
+//! inputs, and the output net of gate `i` is net `n_inputs + i`. Because a
+//! gate can only reference nets that already exist when it is pushed, every
+//! netlist is a DAG in topological order by construction — simulators and
+//! analyzers never need to sort it.
+
+use crate::cell::CellKind;
+
+/// Identifier of a net (a wire) in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single cell instance. `ins` slots beyond the cell's arity are ignored
+/// and conventionally set to `NetId(0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gate {
+    /// The cell implementing this gate.
+    pub kind: CellKind,
+    /// Input nets `[a, b, c]`; for [`CellKind::Mux2`] the order is
+    /// `[select, d0, d1]`.
+    pub ins: [NetId; 3],
+}
+
+/// A little-endian bundle of nets representing a multi-bit value
+/// (`bit(0)` is the LSB).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bus(pub Vec<NetId>);
+
+impl Bus {
+    /// Bus width in bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Net carrying bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= width()`.
+    pub fn bit(&self, i: usize) -> NetId {
+        self.0[i]
+    }
+
+    /// Iterates over the nets from LSB to MSB.
+    pub fn iter(&self) -> std::slice::Iter<'_, NetId> {
+        self.0.iter()
+    }
+
+    /// A new bus containing bits `range` of `self` (a "slice" of the bus).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bus {
+        Bus(self.0[range].to_vec())
+    }
+
+    /// Bus shifted left by `k` bits: `k` constant-zero nets are prepended.
+    /// Requires the zero net to be supplied by the caller (see
+    /// [`Netlist::const0`]).
+    pub fn shifted_left(&self, k: usize, zero: NetId) -> Bus {
+        let mut v = vec![zero; k];
+        v.extend_from_slice(&self.0);
+        Bus(v)
+    }
+}
+
+impl FromIterator<NetId> for Bus {
+    fn from_iter<T: IntoIterator<Item = NetId>>(iter: T) -> Self {
+        Bus(iter.into_iter().collect())
+    }
+}
+
+/// A combinational gate-level netlist in topological order.
+///
+/// # Example
+///
+/// ```
+/// use autoax_circuit::netlist::Netlist;
+/// use autoax_circuit::sim::eval_binop;
+///
+/// let mut n = Netlist::new("xor1");
+/// let a = n.input();
+/// let b = n.input();
+/// let y = n.xor2(a, b);
+/// n.push_output(y);
+/// assert_eq!(eval_binop(&n, 1, 1, 1, 0), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    n_inputs: u32,
+    gates: Vec<Gate>,
+    outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            n_inputs: 0,
+            gates: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The netlist name (for reports and debugging).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the netlist.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of primary input nets.
+    pub fn input_count(&self) -> usize {
+        self.n_inputs as usize
+    }
+
+    /// Total number of nets (inputs plus one per gate).
+    pub fn net_count(&self) -> usize {
+        self.n_inputs as usize + self.gates.len()
+    }
+
+    /// The gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates, counting constants.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of gates excluding zero-area constants — the "cell count"
+    /// a synthesis report would show.
+    pub fn cell_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g.kind, CellKind::Const0 | CellKind::Const1))
+            .count()
+    }
+
+    /// The primary output nets, in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Adds one primary input net.
+    ///
+    /// # Panics
+    /// Panics if gates have already been added (inputs must come first so
+    /// net ids stay stable).
+    pub fn input(&mut self) -> NetId {
+        assert!(
+            self.gates.is_empty(),
+            "all primary inputs must be declared before the first gate"
+        );
+        let id = NetId(self.n_inputs);
+        self.n_inputs += 1;
+        id
+    }
+
+    /// Adds `width` primary inputs and returns them as a bus (LSB first).
+    pub fn input_bus(&mut self, width: usize) -> Bus {
+        (0..width).map(|_| self.input()).collect()
+    }
+
+    /// Appends a gate and returns its output net.
+    ///
+    /// # Panics
+    /// Panics if any used input refers to a net that does not exist yet.
+    pub fn push(&mut self, kind: CellKind, ins: [NetId; 3]) -> NetId {
+        let next = self.net_count() as u32;
+        for slot in ins.iter().take(kind.arity()) {
+            assert!(
+                slot.0 < next,
+                "gate input {:?} references a net that does not exist yet",
+                slot
+            );
+        }
+        self.gates.push(Gate { kind, ins });
+        NetId(next)
+    }
+
+    /// Declares `net` as the next primary output.
+    pub fn push_output(&mut self, net: NetId) {
+        assert!((net.0 as usize) < self.net_count());
+        self.outputs.push(net);
+    }
+
+    /// Declares a whole bus as outputs (LSB first).
+    pub fn push_output_bus(&mut self, bus: &Bus) {
+        for &n in bus.iter() {
+            self.push_output(n);
+        }
+    }
+
+    /// Replaces all outputs.
+    pub fn set_outputs(&mut self, outs: Vec<NetId>) {
+        for n in &outs {
+            assert!((n.0 as usize) < self.net_count());
+        }
+        self.outputs = outs;
+    }
+
+    // ----- convenience constructors for common gates -----
+
+    /// Constant-0 net.
+    pub fn const0(&mut self) -> NetId {
+        self.push(CellKind::Const0, [NetId(0); 3])
+    }
+    /// Constant-1 net.
+    pub fn const1(&mut self) -> NetId {
+        self.push(CellKind::Const1, [NetId(0); 3])
+    }
+    /// Buffer.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.push(CellKind::Buf, [a, a, a])
+    }
+    /// Inverter.
+    pub fn inv(&mut self, a: NetId) -> NetId {
+        self.push(CellKind::Inv, [a, a, a])
+    }
+    /// 2-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::And2, [a, b, a])
+    }
+    /// 2-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::Or2, [a, b, a])
+    }
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::Nand2, [a, b, a])
+    }
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::Nor2, [a, b, a])
+    }
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::Xor2, [a, b, a])
+    }
+    /// 2-input XNOR.
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::Xnor2, [a, b, a])
+    }
+    /// 2:1 mux (`sel ? d1 : d0`).
+    pub fn mux2(&mut self, sel: NetId, d0: NetId, d1: NetId) -> NetId {
+        self.push(CellKind::Mux2, [sel, d0, d1])
+    }
+    /// 3-input majority.
+    pub fn maj3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.push(CellKind::Maj3, [a, b, c])
+    }
+
+    /// Full adder composed of two XORs and a majority gate; returns
+    /// `(sum, carry)`.
+    pub fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let p = self.xor2(a, b);
+        let sum = self.xor2(p, cin);
+        let carry = self.maj3(a, b, cin);
+        (sum, carry)
+    }
+
+    /// Half adder; returns `(sum, carry)`.
+    pub fn half_adder(&mut self, a: NetId, b: NetId) -> (NetId, NetId) {
+        let sum = self.xor2(a, b);
+        let carry = self.and2(a, b);
+        (sum, carry)
+    }
+
+    /// Instantiates another netlist as a sub-circuit: `args` provides the
+    /// nets feeding the sub-circuit's primary inputs; the return value maps
+    /// the sub-circuit's outputs to nets of `self`.
+    ///
+    /// This is how accelerators compose component circuits into one flat
+    /// netlist for synthesis.
+    ///
+    /// # Panics
+    /// Panics if `args.len()` differs from the sub-circuit's input count.
+    pub fn instantiate(&mut self, sub: &Netlist, args: &[NetId]) -> Vec<NetId> {
+        assert_eq!(
+            args.len(),
+            sub.input_count(),
+            "instantiating `{}`: argument count mismatch",
+            sub.name()
+        );
+        // Map from sub-circuit net id to self net id.
+        let mut map: Vec<NetId> = Vec::with_capacity(sub.net_count());
+        map.extend_from_slice(args);
+        for gate in &sub.gates {
+            let ins = [
+                map[gate.ins[0].index()],
+                map[gate.ins[1].index()],
+                map[gate.ins[2].index()],
+            ];
+            let out = self.push(gate.kind, ins);
+            map.push(out);
+        }
+        sub.outputs.iter().map(|o| map[o.index()]).collect()
+    }
+
+    /// Builds a two-input gate from an arbitrary 2-variable truth table.
+    ///
+    /// `tt` bit `i` (for `i = b<<1 | a`) gives the output for inputs
+    /// `(a, b)`. Only the low 4 bits are used. The construction maps each
+    /// of the 16 functions to at most one cell plus inverters.
+    pub fn two_input_tt(&mut self, tt: u8, a: NetId, b: NetId) -> NetId {
+        match tt & 0xF {
+            0b0000 => self.const0(),
+            0b1111 => self.const1(),
+            0b1010 => self.buf(a),
+            0b0101 => self.inv(a),
+            0b1100 => self.buf(b),
+            0b0011 => self.inv(b),
+            0b1000 => self.and2(a, b),
+            0b0111 => self.nand2(a, b),
+            0b1110 => self.or2(a, b),
+            0b0001 => self.nor2(a, b),
+            0b0110 => self.xor2(a, b),
+            0b1001 => self.xnor2(a, b),
+            0b0010 => {
+                // a & !b
+                let nb = self.inv(b);
+                self.and2(a, nb)
+            }
+            0b0100 => {
+                // !a & b
+                let na = self.inv(a);
+                self.and2(na, b)
+            }
+            0b1011 => {
+                // a | !b
+                let nb = self.inv(b);
+                self.or2(a, nb)
+            }
+            0b1101 => {
+                // !a | b
+                let na = self.inv(a);
+                self.or2(na, b)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Builds a three-input function from an 8-entry truth table using a
+    /// Shannon expansion on the third input: `y = c ? f1(a,b) : f0(a,b)`.
+    ///
+    /// `tt` bit `i` (for `i = c<<2 | b<<1 | a`) gives the output.
+    pub fn three_input_tt(&mut self, tt: u8, a: NetId, b: NetId, c: NetId) -> NetId {
+        let f0 = tt & 0xF;
+        let f1 = (tt >> 4) & 0xF;
+        if f0 == f1 {
+            return self.two_input_tt(f0, a, b);
+        }
+        // Special-case the common exact functions for cheaper mappings.
+        if tt == 0b1001_0110 {
+            // XOR3 (full-adder sum)
+            let p = self.xor2(a, b);
+            return self.xor2(p, c);
+        }
+        if tt == 0b1110_1000 {
+            // Majority (full-adder carry)
+            return self.maj3(a, b, c);
+        }
+        let d0 = self.two_input_tt(f0, a, b);
+        let d1 = self.two_input_tt(f1, a, b);
+        self.mux2(c, d0, d1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{eval_binop, sim_lanes};
+
+    #[test]
+    fn inputs_then_gates_invariant() {
+        let mut n = Netlist::new("t");
+        let a = n.input();
+        let b = n.input();
+        let y = n.and2(a, b);
+        n.push_output(y);
+        assert_eq!(n.input_count(), 2);
+        assert_eq!(n.gate_count(), 1);
+        assert_eq!(n.net_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared before the first gate")]
+    fn input_after_gate_panics() {
+        let mut n = Netlist::new("t");
+        let a = n.input();
+        let _ = n.inv(a);
+        let _ = n.input();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_reference_panics() {
+        let mut n = Netlist::new("t");
+        let _ = n.input();
+        n.push(CellKind::Inv, [NetId(5), NetId(5), NetId(5)]);
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut n = Netlist::new("fa");
+        let a = n.input();
+        let b = n.input();
+        let c = n.input();
+        let (s, co) = n.full_adder(a, b, c);
+        n.push_output(s);
+        n.push_output(co);
+        for input in 0u64..8 {
+            let lanes = [
+                if input & 1 != 0 { u64::MAX } else { 0 },
+                if input & 2 != 0 { u64::MAX } else { 0 },
+                if input & 4 != 0 { u64::MAX } else { 0 },
+            ];
+            let outs = sim_lanes(&n, &lanes);
+            let total = (input & 1) + ((input >> 1) & 1) + ((input >> 2) & 1);
+            assert_eq!(outs[0] & 1, total & 1, "sum for {input}");
+            assert_eq!(outs[1] & 1, (total >> 1) & 1, "carry for {input}");
+        }
+    }
+
+    #[test]
+    fn all_two_input_tts_are_correct() {
+        for tt in 0u8..16 {
+            let mut n = Netlist::new("tt2");
+            let a = n.input();
+            let b = n.input();
+            let y = n.two_input_tt(tt, a, b);
+            n.push_output(y);
+            for ab in 0u64..4 {
+                let got = eval_binop(&n, 1, 1, ab & 1, (ab >> 1) & 1);
+                let exp = (tt >> ab) as u64 & 1;
+                assert_eq!(got, exp, "tt={tt:04b} ab={ab:02b}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_input_tts_are_correct() {
+        // Exhaustive over all 256 functions of 3 variables.
+        for tt in 0u16..256 {
+            let tt = tt as u8;
+            let mut n = Netlist::new("tt3");
+            let a = n.input();
+            let b = n.input();
+            let c = n.input();
+            let y = n.three_input_tt(tt, a, b, c);
+            n.push_output(y);
+            for abc in 0u64..8 {
+                let lanes = [
+                    if abc & 1 != 0 { 1u64 } else { 0 },
+                    if abc & 2 != 0 { 1 } else { 0 },
+                    if abc & 4 != 0 { 1 } else { 0 },
+                ];
+                let outs = sim_lanes(&n, &lanes);
+                let exp = (tt >> abc) as u64 & 1;
+                assert_eq!(outs[0] & 1, exp, "tt={tt:08b} abc={abc:03b}");
+            }
+        }
+    }
+
+    #[test]
+    fn instantiate_composes() {
+        // Build a 1-bit half adder as a sub-circuit and instantiate twice.
+        let mut ha = Netlist::new("ha");
+        let a = ha.input();
+        let b = ha.input();
+        let (s, c) = ha.half_adder(a, b);
+        ha.push_output(s);
+        ha.push_output(c);
+
+        let mut top = Netlist::new("top");
+        let x = top.input();
+        let y = top.input();
+        let z = top.input();
+        let o1 = top.instantiate(&ha, &[x, y]);
+        let o2 = top.instantiate(&ha, &[o1[0], z]);
+        top.push_output(o2[0]);
+        // sum of three bits without carries: x ^ y ^ z
+        for v in 0u64..8 {
+            let lanes = [v & 1, (v >> 1) & 1, (v >> 2) & 1];
+            let outs = sim_lanes(&top, &lanes);
+            assert_eq!(outs[0] & 1, (v ^ (v >> 1) ^ (v >> 2)) & 1);
+        }
+    }
+
+    #[test]
+    fn bus_helpers() {
+        let mut n = Netlist::new("bus");
+        let b = n.input_bus(4);
+        assert_eq!(b.width(), 4);
+        let z = n.const0();
+        let sh = b.shifted_left(2, z);
+        assert_eq!(sh.width(), 6);
+        assert_eq!(sh.bit(0), z);
+        assert_eq!(sh.bit(2), b.bit(0));
+        let sl = b.slice(1..3);
+        assert_eq!(sl.width(), 2);
+        assert_eq!(sl.bit(0), b.bit(1));
+    }
+
+    #[test]
+    fn cell_count_ignores_constants() {
+        let mut n = Netlist::new("c");
+        let a = n.input();
+        let z = n.const0();
+        let y = n.or2(a, z);
+        n.push_output(y);
+        assert_eq!(n.gate_count(), 2);
+        assert_eq!(n.cell_count(), 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! 64-way bit-parallel logic simulation.
+//!
+//! Each net carries one `u64` word per simulation call; bit lane `i` of every
+//! word belongs to the `i`-th of 64 independent input assignments. This is
+//! the classic EDA trick that makes exhaustive characterization of 16-bit
+//! operand spaces (65 536 assignments = 1024 words) cheap.
+
+use crate::netlist::Netlist;
+use crate::util::mask;
+
+/// Simulates all 64 lanes at once. `inputs[i]` is the word driving primary
+/// input net `i`; the result contains one word per primary output.
+///
+/// # Panics
+/// Panics if `inputs.len()` differs from the netlist's input count.
+pub fn sim_lanes(netlist: &Netlist, inputs: &[u64]) -> Vec<u64> {
+    let mut values = sim_all_nets(netlist, inputs);
+    let outs: Vec<u64> = netlist
+        .outputs()
+        .iter()
+        .map(|o| values[o.index()])
+        .collect();
+    values.clear();
+    outs
+}
+
+/// Like [`sim_lanes`] but returns the word of *every* net (used by power
+/// estimation, which needs internal toggle counts).
+pub fn sim_all_nets(netlist: &Netlist, inputs: &[u64]) -> Vec<u64> {
+    assert_eq!(
+        inputs.len(),
+        netlist.input_count(),
+        "input word count mismatch for `{}`",
+        netlist.name()
+    );
+    let mut values: Vec<u64> = Vec::with_capacity(netlist.net_count());
+    values.extend_from_slice(inputs);
+    for gate in netlist.gates() {
+        let a = values[gate.ins[0].index()];
+        let b = values[gate.ins[1].index()];
+        let c = values[gate.ins[2].index()];
+        values.push(gate.kind.eval(a, b, c));
+    }
+    values
+}
+
+/// Evaluates a netlist as a two-operand arithmetic circuit on a single
+/// operand pair.
+///
+/// The first `wa` primary inputs receive the bits of `a` (LSB first), the
+/// next `wb` inputs the bits of `b`. The outputs are assembled LSB-first
+/// into the returned integer.
+///
+/// # Panics
+/// Panics if the netlist does not have exactly `wa + wb` inputs.
+pub fn eval_binop(netlist: &Netlist, wa: u32, wb: u32, a: u64, b: u64) -> u64 {
+    assert_eq!(netlist.input_count() as u32, wa + wb);
+    let mut words = Vec::with_capacity((wa + wb) as usize);
+    for i in 0..wa {
+        words.push(if (a >> i) & 1 != 0 { u64::MAX } else { 0 });
+    }
+    for i in 0..wb {
+        words.push(if (b >> i) & 1 != 0 { u64::MAX } else { 0 });
+    }
+    let outs = sim_lanes(netlist, &words);
+    let mut r = 0u64;
+    for (i, w) in outs.iter().enumerate() {
+        r |= (w & 1) << i;
+    }
+    r
+}
+
+/// Evaluates a netlist as a two-operand arithmetic circuit on a batch of
+/// operand pairs, 64 pairs per simulation pass.
+pub fn eval_binop_batch(netlist: &Netlist, wa: u32, wb: u32, pairs: &[(u64, u64)]) -> Vec<u64> {
+    assert_eq!(netlist.input_count() as u32, wa + wb);
+    let n_in = (wa + wb) as usize;
+    let mut results = Vec::with_capacity(pairs.len());
+    let mut words = vec![0u64; n_in];
+    for chunk in pairs.chunks(64) {
+        words.iter_mut().for_each(|w| *w = 0);
+        for (lane, &(a, b)) in chunk.iter().enumerate() {
+            for i in 0..wa as usize {
+                words[i] |= ((a >> i) & 1) << lane;
+            }
+            for i in 0..wb as usize {
+                words[wa as usize + i] |= ((b >> i) & 1) << lane;
+            }
+        }
+        let outs = sim_lanes(netlist, &words);
+        for lane in 0..chunk.len() {
+            let mut r = 0u64;
+            for (i, w) in outs.iter().enumerate() {
+                r |= ((w >> lane) & 1) << i;
+            }
+            results.push(r);
+        }
+    }
+    results
+}
+
+/// The canonical word patterns that enumerate all assignments of the lowest
+/// six input variables within one 64-lane word.
+const LOW_PATTERNS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Exhaustively evaluates a netlist with `k = input_count() ≤ 26` inputs,
+/// returning one integer result per input assignment, ordered by the
+/// assignment value (input 0 = LSB of the assignment index).
+///
+/// For a 16-input circuit this performs only 1024 bit-parallel passes.
+///
+/// # Panics
+/// Panics if the netlist has more than 26 inputs (the result vector would
+/// exceed 64 M entries).
+pub fn exhaustive_outputs(netlist: &Netlist) -> Vec<u64> {
+    let k = netlist.input_count();
+    assert!(k <= 26, "exhaustive evaluation limited to 26 inputs");
+    let total = 1usize << k;
+    let blocks = total.div_ceil(64);
+    let mut results = vec![0u64; total];
+    let mut words = vec![0u64; k];
+    for block in 0..blocks {
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = if i < 6 {
+                LOW_PATTERNS[i]
+            } else if (block >> (i - 6)) & 1 != 0 {
+                u64::MAX
+            } else {
+                0
+            };
+        }
+        let outs = sim_lanes(netlist, &words);
+        let lanes = (total - block * 64).min(64);
+        for lane in 0..lanes {
+            let mut r = 0u64;
+            for (oi, w) in outs.iter().enumerate() {
+                r |= ((w >> lane) & 1) << oi;
+            }
+            results[block * 64 + lane] = r;
+        }
+    }
+    results
+}
+
+/// Checks functional equivalence of two netlists with identical interfaces
+/// on `n_samples` deterministic stimuli (exhaustively when the input space
+/// is at most 2^20).
+///
+/// Returns the first differing assignment as a counterexample, or `None`
+/// when equivalent on all tested stimuli.
+pub fn check_equivalence(
+    a: &Netlist,
+    b: &Netlist,
+    n_samples: usize,
+    seed: u64,
+) -> Option<u64> {
+    assert_eq!(a.input_count(), b.input_count());
+    assert_eq!(a.outputs().len(), b.outputs().len());
+    let k = a.input_count() as u32;
+    if k <= 20 {
+        let oa = exhaustive_outputs(a);
+        let ob = exhaustive_outputs(b);
+        return oa
+            .iter()
+            .zip(ob.iter())
+            .position(|(x, y)| x != y)
+            .map(|p| p as u64);
+    }
+    let mut st = seed;
+    for _ in 0..n_samples {
+        let v = crate::util::splitmix64(&mut st) & mask(k);
+        let words: Vec<u64> = (0..k)
+            .map(|i| if (v >> i) & 1 != 0 { u64::MAX } else { 0 })
+            .collect();
+        if sim_lanes(a, &words)
+            .iter()
+            .zip(sim_lanes(b, &words).iter())
+            .any(|(x, y)| (x & 1) != (y & 1))
+        {
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn xor_netlist() -> Netlist {
+        let mut n = Netlist::new("xor");
+        let a = n.input();
+        let b = n.input();
+        let y = n.xor2(a, b);
+        n.push_output(y);
+        n
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let n = xor_netlist();
+        // lane 0: 0^0, lane 1: 1^0, lane 2: 0^1, lane 3: 1^1
+        let outs = sim_lanes(&n, &[0b1010, 0b1100]);
+        assert_eq!(outs[0] & 0xF, 0b0110);
+    }
+
+    #[test]
+    fn eval_binop_single() {
+        let n = xor_netlist();
+        assert_eq!(eval_binop(&n, 1, 1, 1, 1), 0);
+        assert_eq!(eval_binop(&n, 1, 1, 0, 1), 1);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let n = xor_netlist();
+        let pairs: Vec<(u64, u64)> = (0..200).map(|i| (i & 1, (i >> 1) & 1)).collect();
+        let batch = eval_binop_batch(&n, 1, 1, &pairs);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(batch[i], eval_binop(&n, 1, 1, a, b));
+        }
+    }
+
+    #[test]
+    fn exhaustive_matches_eval() {
+        // 3-input majority gate netlist
+        let mut n = Netlist::new("maj");
+        let a = n.input();
+        let b = n.input();
+        let c = n.input();
+        let y = n.maj3(a, b, c);
+        n.push_output(y);
+        let all = exhaustive_outputs(&n);
+        assert_eq!(all.len(), 8);
+        for v in 0u64..8 {
+            let bits = (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1);
+            assert_eq!(all[v as usize], u64::from(bits >= 2), "v={v}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_large_block_boundary() {
+        // 7 inputs exercises the block loop (two 64-lane blocks).
+        let mut n = Netlist::new("parity7");
+        let ins: Vec<_> = (0..7).map(|_| n.input()).collect();
+        let mut acc = ins[0];
+        for &i in &ins[1..] {
+            acc = n.xor2(acc, i);
+        }
+        n.push_output(acc);
+        let all = exhaustive_outputs(&n);
+        assert_eq!(all.len(), 128);
+        for v in 0u64..128 {
+            assert_eq!(all[v as usize], (v.count_ones() as u64) & 1);
+        }
+    }
+
+    #[test]
+    fn equivalence_check_finds_difference() {
+        let a = xor_netlist();
+        let mut b = Netlist::new("xnor");
+        let x = b.input();
+        let y = b.input();
+        let o = b.xnor2(x, y);
+        b.push_output(o);
+        assert!(check_equivalence(&a, &a.clone(), 100, 1).is_none());
+        assert!(check_equivalence(&a, &b, 100, 1).is_some());
+    }
+}

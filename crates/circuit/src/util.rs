@@ -1,0 +1,133 @@
+//! Small shared helpers: bit masks, deterministic stimulus generation and a
+//! std-only parallel map used by library characterization.
+
+/// Returns a mask with the lowest `w` bits set (`w == 64` returns all ones).
+///
+/// ```
+/// assert_eq!(autoax_circuit::util::mask(8), 0xFF);
+/// assert_eq!(autoax_circuit::util::mask(0), 0);
+/// ```
+#[inline]
+pub const fn mask(w: u32) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+/// SplitMix64 step — a tiny, high-quality deterministic PRNG used for
+/// reproducible stimulus streams without threading `rand` state everywhere.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic stream of operand pairs for an `(wa, wb)`-bit binary
+/// operation, seeded by `seed`.
+///
+/// The stream mixes uniform pairs with "correlated" pairs (`b` near `a`),
+/// because image workloads produce strongly correlated operands (paper
+/// Fig. 3) and characterization should exercise that regime too.
+pub fn stimulus_pairs(wa: u32, wb: u32, n: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut st = seed ^ 0xA076_1D64_78BD_642F;
+    let ma = mask(wa);
+    let mb = mask(wb);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let r = splitmix64(&mut st);
+        let a = r & ma;
+        let b = if i % 4 == 3 {
+            // Correlated pair: b = a + small signed delta.
+            let delta = ((splitmix64(&mut st) & 0x1F) as i64) - 16;
+            ((a as i64 + delta).rem_euclid((mb as i64) + 1)) as u64
+        } else {
+            (r >> 32) & mb
+        };
+        out.push((a, b & mb));
+    }
+    out
+}
+
+/// Maps `f` over `items` in parallel using scoped std threads.
+///
+/// Used for embarrassingly parallel characterization loops; results are in
+/// input order. Falls back to sequential execution for small inputs.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if items.len() < 32 || threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut results: Vec<Option<Vec<U>>> = Vec::new();
+    results.resize_with(items.len().div_ceil(chunk), || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::new();
+        for (ci, part) in items.chunks(chunk).enumerate() {
+            handles.push((ci, scope.spawn(move || part.iter().map(f).collect::<Vec<U>>())));
+        }
+        for (ci, h) in handles {
+            results[ci] = Some(h.join().expect("par_map worker panicked"));
+        }
+    });
+    results.into_iter().flatten().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(16), 0xFFFF);
+        assert_eq!(mask(63), u64::MAX >> 1);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = 7;
+        let mut b = 7;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stimulus_pairs_in_range_and_deterministic() {
+        let p1 = stimulus_pairs(8, 8, 1000, 3);
+        let p2 = stimulus_pairs(8, 8, 1000, 3);
+        assert_eq!(p1, p2);
+        for (a, b) in &p1 {
+            assert!(*a <= 255 && *b <= 255);
+        }
+        let p3 = stimulus_pairs(8, 8, 1000, 4);
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let items: Vec<u64> = (0..1000).collect();
+        let par = par_map(&items, |x| x * 3 + 1);
+        let seq: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_small_input() {
+        let items = vec![1u32, 2, 3];
+        assert_eq!(par_map(&items, |x| x + 1), vec![2, 3, 4]);
+    }
+}

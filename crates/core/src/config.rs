@@ -1,0 +1,302 @@
+//! Configurations and the configuration space.
+//!
+//! A *configuration* (paper Section 2.1) assigns one approximate circuit
+//! to each operation slot of the accelerator. The [`ConfigSpace`] is the
+//! cartesian product of per-slot candidate lists — the full library before
+//! pre-processing, the reduced libraries `RL_k` after.
+
+use autoax_circuit::charlib::{CircuitEntry, CircuitId, ComponentLibrary};
+use autoax_circuit::OpSignature;
+use rand::Rng;
+
+/// One slot's candidate list with precomputed per-candidate WMED scores.
+#[derive(Debug, Clone)]
+pub struct SlotChoices {
+    /// Slot name (from the accelerator).
+    pub name: String,
+    /// Operation class of the slot.
+    pub signature: OpSignature,
+    /// Candidate circuits (ids into the class library) with their
+    /// slot-specific WMED scores.
+    pub members: Vec<SlotMember>,
+}
+
+/// A candidate circuit for a slot.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotMember {
+    /// Id within the class library.
+    pub id: CircuitId,
+    /// WMED of the circuit under this slot's operand PMF.
+    pub wmed: f64,
+}
+
+/// The (possibly reduced) configuration space of an accelerator.
+#[derive(Debug, Clone)]
+pub struct ConfigSpace {
+    slots: Vec<SlotChoices>,
+}
+
+/// An assignment of one candidate index per slot (indices into
+/// [`SlotChoices::members`], *not* raw circuit ids).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Configuration(pub Vec<u16>);
+
+impl ConfigSpace {
+    /// Builds a space from per-slot candidate lists.
+    ///
+    /// # Panics
+    /// Panics if any slot has no candidates.
+    pub fn new(slots: Vec<SlotChoices>) -> Self {
+        for s in &slots {
+            assert!(!s.members.is_empty(), "slot {} has no candidates", s.name);
+        }
+        ConfigSpace { slots }
+    }
+
+    /// The per-slot candidate lists.
+    pub fn slots(&self) -> &[SlotChoices] {
+        &self.slots
+    }
+
+    /// Number of slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Per-slot candidate counts.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.slots.iter().map(|s| s.members.len()).collect()
+    }
+
+    /// Total number of configurations as `f64` (spaces routinely exceed
+    /// `u64`; the paper reports 7.15·10^63 for the generic GF).
+    pub fn size(&self) -> f64 {
+        self.slots
+            .iter()
+            .map(|s| s.members.len() as f64)
+            .product()
+    }
+
+    /// `log10` of the space size.
+    pub fn log10_size(&self) -> f64 {
+        self.slots
+            .iter()
+            .map(|s| (s.members.len() as f64).log10())
+            .sum()
+    }
+
+    /// A uniformly random configuration.
+    pub fn random(&self, rng: &mut impl Rng) -> Configuration {
+        Configuration(
+            self.slots
+                .iter()
+                .map(|s| rng.gen_range(0..s.members.len()) as u16)
+                .collect(),
+        )
+    }
+
+    /// The all-exact configuration, assuming candidate lists contain the
+    /// exact circuit (id 0) — true after pre-processing, which always
+    /// keeps it (WMED 0 is Pareto-optimal).
+    pub fn exact(&self) -> Configuration {
+        Configuration(
+            self.slots
+                .iter()
+                .map(|s| {
+                    s.members
+                        .iter()
+                        .position(|m| m.id == CircuitId(0))
+                        .unwrap_or(0) as u16
+                })
+                .collect(),
+        )
+    }
+
+    /// The neighbour move of Algorithm 1: re-pick one random slot's
+    /// circuit (guaranteed different when the slot has > 1 candidate).
+    pub fn neighbor(&self, c: &Configuration, rng: &mut impl Rng) -> Configuration {
+        let mut out = c.clone();
+        let slot = rng.gen_range(0..self.slots.len());
+        let n = self.slots[slot].members.len();
+        if n > 1 {
+            let mut pick = rng.gen_range(0..n - 1) as u16;
+            if pick >= out.0[slot] {
+                pick += 1;
+            }
+            out.0[slot] = pick;
+        }
+        out
+    }
+
+    /// Resolves a configuration to library entries (one per slot).
+    ///
+    /// # Panics
+    /// Panics if the configuration shape does not match the space or the
+    /// library lacks a referenced circuit.
+    pub fn entries<'l>(
+        &self,
+        lib: &'l ComponentLibrary,
+        c: &Configuration,
+    ) -> Vec<&'l CircuitEntry> {
+        assert_eq!(c.0.len(), self.slots.len(), "configuration shape mismatch");
+        self.slots
+            .iter()
+            .zip(c.0.iter())
+            .map(|(s, &idx)| {
+                let member = &s.members[idx as usize];
+                &lib.class(s.signature)[member.id.0 as usize]
+            })
+            .collect()
+    }
+
+    /// The WMED scores of a configuration's circuits (QoR model features).
+    pub fn wmeds(&self, c: &Configuration) -> Vec<f64> {
+        self.slots
+            .iter()
+            .zip(c.0.iter())
+            .map(|(s, &idx)| s.members[idx as usize].wmed)
+            .collect()
+    }
+
+    /// Iterates over every configuration of the space in lexicographic
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if the space exceeds 10^8 configurations (use the heuristic
+    /// search instead).
+    pub fn iter_all(&self) -> ExhaustiveIter<'_> {
+        assert!(
+            self.size() <= 1e8,
+            "space too large for exhaustive iteration ({:.2e})",
+            self.size()
+        );
+        ExhaustiveIter {
+            space: self,
+            next: Some(Configuration(vec![0; self.slots.len()])),
+        }
+    }
+}
+
+/// Iterator over all configurations (see [`ConfigSpace::iter_all`]).
+#[derive(Debug)]
+pub struct ExhaustiveIter<'a> {
+    space: &'a ConfigSpace,
+    next: Option<Configuration>,
+}
+
+impl Iterator for ExhaustiveIter<'_> {
+    type Item = Configuration;
+
+    fn next(&mut self) -> Option<Configuration> {
+        let current = self.next.clone()?;
+        // advance odometer
+        let mut n = current.clone();
+        let mut i = 0;
+        loop {
+            if i == n.0.len() {
+                self.next = None;
+                break;
+            }
+            n.0[i] += 1;
+            if (n.0[i] as usize) < self.space.slots[i].members.len() {
+                self.next = Some(n);
+                break;
+            }
+            n.0[i] = 0;
+            i += 1;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space(sizes: &[usize]) -> ConfigSpace {
+        ConfigSpace::new(
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| SlotChoices {
+                    name: format!("s{i}"),
+                    signature: OpSignature::ADD8,
+                    members: (0..n)
+                        .map(|j| SlotMember {
+                            id: CircuitId(j as u32),
+                            wmed: j as f64,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn size_and_log10() {
+        let s = space(&[3, 4, 5]);
+        assert_eq!(s.size(), 60.0);
+        assert!((s.log10_size() - 60f64.log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_configs_in_range() {
+        let s = space(&[3, 4, 5]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = s.random(&mut rng);
+            for (i, &v) in c.0.iter().enumerate() {
+                assert!((v as usize) < s.sizes()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_changes_exactly_one_slot() {
+        let s = space(&[3, 4, 5, 6]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = s.random(&mut rng);
+        for _ in 0..50 {
+            let n = s.neighbor(&c, &mut rng);
+            let diff = c.0.iter().zip(n.0.iter()).filter(|(a, b)| a != b).count();
+            assert_eq!(diff, 1, "{c:?} -> {n:?}");
+        }
+    }
+
+    #[test]
+    fn neighbor_on_singleton_slot_is_identity_there() {
+        let s = space(&[1, 5]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = Configuration(vec![0, 2]);
+        for _ in 0..20 {
+            let n = s.neighbor(&c, &mut rng);
+            assert_eq!(n.0[0], 0);
+        }
+    }
+
+    #[test]
+    fn exhaustive_iteration_covers_space() {
+        let s = space(&[2, 3, 2]);
+        let all: Vec<Configuration> = s.iter_all().collect();
+        assert_eq!(all.len(), 12);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 12);
+    }
+
+    #[test]
+    fn wmeds_reflect_members() {
+        let s = space(&[3, 3]);
+        let c = Configuration(vec![2, 1]);
+        assert_eq!(s.wmeds(&c), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidates")]
+    fn empty_slot_panics() {
+        let _ = space(&[3, 0]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Crate error type.
+
+use autoax_ml::TrainError;
+
+/// Error raised by the autoAx pipeline.
+#[derive(Debug, Clone)]
+pub enum AutoAxError {
+    /// A model could not be trained.
+    Train(TrainError),
+    /// The inputs to a pipeline stage were inconsistent.
+    Invalid(String),
+}
+
+impl std::fmt::Display for AutoAxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AutoAxError::Train(e) => write!(f, "{e}"),
+            AutoAxError::Invalid(m) => write!(f, "invalid pipeline input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AutoAxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AutoAxError::Train(e) => Some(e),
+            AutoAxError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<TrainError> for AutoAxError {
+    fn from(e: TrainError) -> Self {
+        AutoAxError::Train(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = AutoAxError::Invalid("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let t: AutoAxError = TrainError::new("x").into();
+        assert!(t.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Real (non-estimated) evaluation of configurations: full software
+//! simulation for QoR and synthesis-lite for hardware cost — the "detailed
+//! analysis" that takes ~10 s per configuration in the paper's flow and
+//! that the estimation models exist to avoid.
+
+use crate::config::{ConfigSpace, Configuration};
+use autoax_accel::{Accelerator, CompiledOp, OpSet};
+use autoax_circuit::charlib::{CircuitId, ComponentLibrary};
+use autoax_circuit::synth::{analyze, optimize, AnalyzeOptions};
+use autoax_circuit::{HwReport, Netlist, OpSignature};
+use autoax_image::GrayImage;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The outcome of fully analyzing one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealEval {
+    /// Mean SSIM versus the exact accelerator on the benchmark images.
+    pub ssim: f64,
+    /// Hardware report of the synthesized accelerator netlist.
+    pub hw: HwReport,
+}
+
+/// Evaluator with cached golden outputs and compiled-op cache.
+pub struct Evaluator<'a> {
+    accel: &'a dyn Accelerator,
+    lib: &'a ComponentLibrary,
+    space: &'a ConfigSpace,
+    images: &'a [GrayImage],
+    golden: Vec<Vec<GrayImage>>,
+    op_cache: Mutex<HashMap<(OpSignature, CircuitId), CompiledOp>>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator, precomputing the golden (exact) outputs.
+    pub fn new(
+        accel: &'a dyn Accelerator,
+        lib: &'a ComponentLibrary,
+        space: &'a ConfigSpace,
+        images: &'a [GrayImage],
+    ) -> Self {
+        Evaluator {
+            accel,
+            lib,
+            space,
+            images,
+            golden: accel.golden(images),
+            op_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The accelerator under evaluation.
+    pub fn accelerator(&self) -> &dyn Accelerator {
+        self.accel
+    }
+
+    /// Compiles (with caching) the op set of a configuration.
+    pub fn opset(&self, c: &Configuration) -> OpSet {
+        let entries = self.space.entries(self.lib, c);
+        let mut cache = self.op_cache.lock().expect("op cache poisoned");
+        let ops = entries
+            .iter()
+            .zip(self.space.slots().iter())
+            .map(|(e, s)| {
+                cache
+                    .entry((s.signature, e.id))
+                    .or_insert_with(|| CompiledOp::compile(e))
+                    .clone()
+            })
+            .collect();
+        OpSet::new(ops)
+    }
+
+    /// Composes the flat accelerator netlist of a configuration.
+    pub fn netlist(&self, c: &Configuration) -> Netlist {
+        let impls: Vec<Netlist> = self
+            .space
+            .entries(self.lib, c)
+            .iter()
+            .map(|e| e.build_netlist())
+            .collect();
+        self.accel.build_netlist(&impls)
+    }
+
+    /// Full software QoR analysis (mean SSIM against the golden outputs).
+    pub fn evaluate_qor(&self, c: &Configuration) -> f64 {
+        let ops = self.opset(c);
+        self.accel.qor(self.images, &self.golden, &ops)
+    }
+
+    /// Full hardware analysis: compose, optimize, report.
+    pub fn evaluate_hw(&self, c: &Configuration) -> HwReport {
+        let net = self.netlist(c);
+        let opt = optimize(&net);
+        analyze(&opt, &AnalyzeOptions::default())
+    }
+
+    /// Full analysis (both objectives).
+    pub fn evaluate(&self, c: &Configuration) -> RealEval {
+        RealEval {
+            ssim: self.evaluate_qor(c),
+            hw: self.evaluate_hw(c),
+        }
+    }
+
+    /// Evaluates a batch of configurations in parallel.
+    pub fn evaluate_batch(&self, configs: &[Configuration]) -> Vec<RealEval> {
+        autoax_circuit::util::par_map(configs, |c| self.evaluate(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{preprocess, PreprocessOptions};
+    use autoax_accel::sobel::SobelEd;
+    use autoax_circuit::charlib::{build_library, LibraryConfig};
+    use autoax_image::synthetic::benchmark_suite;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (
+        SobelEd,
+        ComponentLibrary,
+        Vec<GrayImage>,
+        crate::preprocess::Preprocessed,
+    ) {
+        let accel = SobelEd::new();
+        let lib = build_library(&LibraryConfig::tiny());
+        let images = benchmark_suite(2, 48, 32, 5);
+        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+        (accel, lib, images, pre)
+    }
+
+    #[test]
+    fn exact_configuration_scores_perfect_ssim() {
+        let (accel, lib, images, pre) = setup();
+        let ev = Evaluator::new(&accel, &lib, &pre.space, &images);
+        let exact = pre.space.exact();
+        let r = ev.evaluate(&exact);
+        assert!((r.ssim - 1.0).abs() < 1e-12, "ssim {}", r.ssim);
+        assert!(r.hw.area > 0.0);
+    }
+
+    #[test]
+    fn approximate_configurations_trade_quality_for_area() {
+        let (accel, lib, images, pre) = setup();
+        let ev = Evaluator::new(&accel, &lib, &pre.space, &images);
+        let exact = pre.space.exact();
+        let r_exact = ev.evaluate(&exact);
+        // most aggressive configuration: last member of every slot
+        // (highest WMED after the sort in preprocess)
+        let aggressive = Configuration(
+            pre.space
+                .sizes()
+                .iter()
+                .map(|&n| (n - 1) as u16)
+                .collect(),
+        );
+        let r_aggr = ev.evaluate(&aggressive);
+        assert!(r_aggr.ssim < r_exact.ssim, "approximation must hurt SSIM");
+        assert!(
+            r_aggr.hw.area < r_exact.hw.area,
+            "approximation must save area ({} !< {})",
+            r_aggr.hw.area,
+            r_exact.hw.area
+        );
+    }
+
+    #[test]
+    fn batch_matches_single_evaluation() {
+        let (accel, lib, images, pre) = setup();
+        let ev = Evaluator::new(&accel, &lib, &pre.space, &images);
+        let mut rng = StdRng::seed_from_u64(4);
+        let configs: Vec<Configuration> = (0..4).map(|_| pre.space.random(&mut rng)).collect();
+        let batch = ev.evaluate_batch(&configs);
+        for (c, b) in configs.iter().zip(batch.iter()) {
+            let single = ev.evaluate(c);
+            assert_eq!(single.ssim, b.ssim);
+            assert_eq!(single.hw.area, b.hw.area);
+        }
+    }
+
+    #[test]
+    fn netlist_composition_has_expected_interface() {
+        let (accel, lib, images, pre) = setup();
+        let ev = Evaluator::new(&accel, &lib, &pre.space, &images);
+        let net = ev.netlist(&pre.space.exact());
+        assert_eq!(net.input_count(), 72);
+        assert_eq!(net.outputs().len(), 8);
+        let _ = accel;
+    }
+}

@@ -1,0 +1,278 @@
+//! Step 2 of the methodology: construction of the QoR and hardware-cost
+//! estimation models (paper Section 2.3).
+//!
+//! * QoR model input: the WMED of every employed circuit (one feature per
+//!   slot).
+//! * Hardware model input: the isolated area, power and delay of every
+//!   employed circuit (three features per slot) — the paper found that
+//!   omitting power and delay costs ~2 % fidelity.
+//! * Targets: real SSIM and real post-synthesis area of the composed
+//!   accelerator.
+//!
+//! Model quality is measured by *fidelity*, not accuracy, because the DSE
+//! only compares configurations. The paper's naïve baselines are exposed
+//! as fixed-weight linear predictors: `M_a(C) = Σ area(c)` and
+//! `M_SSIM(C) = −Σ WMED_k(c)`.
+
+use crate::config::{ConfigSpace, Configuration};
+use crate::error::AutoAxError;
+use crate::evaluate::{Evaluator, RealEval};
+use autoax_circuit::charlib::ComponentLibrary;
+use autoax_ml::engine::{EngineKind, Regressor};
+use autoax_ml::linalg::Matrix;
+use autoax_ml::linear::LinearFixed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// QoR model features of a configuration: per-slot WMED.
+pub fn qor_features(space: &ConfigSpace, c: &Configuration) -> Vec<f64> {
+    space.wmeds(c)
+}
+
+/// Hardware model features: per-slot `(area, power, delay)` of the
+/// isolated circuits.
+pub fn hw_features(space: &ConfigSpace, lib: &ComponentLibrary, c: &Configuration) -> Vec<f64> {
+    space
+        .entries(lib, c)
+        .iter()
+        .flat_map(|e| [e.hw.area, e.hw.power, e.hw.delay])
+        .collect()
+}
+
+/// A labelled dataset of fully evaluated configurations.
+#[derive(Debug, Clone)]
+pub struct EvaluatedSet {
+    /// The configurations.
+    pub configs: Vec<Configuration>,
+    /// Real evaluations, aligned with `configs`.
+    pub evals: Vec<RealEval>,
+}
+
+impl EvaluatedSet {
+    /// Generates `n` random configurations and fully evaluates them.
+    pub fn generate(evaluator: &Evaluator<'_>, space: &ConfigSpace, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut configs = Vec::with_capacity(n);
+        let mut seen = std::collections::HashSet::new();
+        while configs.len() < n {
+            let c = space.random(&mut rng);
+            if seen.insert(c.clone()) || space.size() < (2 * n) as f64 {
+                configs.push(c);
+            }
+        }
+        let evals = evaluator.evaluate_batch(&configs);
+        EvaluatedSet { configs, evals }
+    }
+
+    /// SSIM targets.
+    pub fn ssim_targets(&self) -> Vec<f64> {
+        self.evals.iter().map(|e| e.ssim).collect()
+    }
+
+    /// Area targets.
+    pub fn area_targets(&self) -> Vec<f64> {
+        self.evals.iter().map(|e| e.hw.area).collect()
+    }
+
+    /// QoR feature matrix.
+    pub fn qor_matrix(&self, space: &ConfigSpace) -> Matrix {
+        let rows: Vec<Vec<f64>> = self
+            .configs
+            .iter()
+            .map(|c| qor_features(space, c))
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    /// Hardware feature matrix.
+    pub fn hw_matrix(&self, space: &ConfigSpace, lib: &ComponentLibrary) -> Matrix {
+        let rows: Vec<Vec<f64>> = self
+            .configs
+            .iter()
+            .map(|c| hw_features(space, lib, c))
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+}
+
+/// The fitted estimation models of one engine.
+pub struct FittedModels {
+    /// QoR estimator.
+    pub qor: Box<dyn Regressor>,
+    /// Hardware-cost estimator.
+    pub hw: Box<dyn Regressor>,
+}
+
+impl FittedModels {
+    /// Estimates the trade-off point of a configuration.
+    pub fn estimate(
+        &self,
+        space: &ConfigSpace,
+        lib: &ComponentLibrary,
+        c: &Configuration,
+    ) -> (f64, f64) {
+        (
+            self.qor.predict_row(&qor_features(space, c)),
+            self.hw.predict_row(&hw_features(space, lib, c)),
+        )
+    }
+}
+
+/// Train/test fidelities of a fitted model pair (one Table 3 row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityReport {
+    /// QoR model fidelity on the training set.
+    pub qor_train: f64,
+    /// QoR model fidelity on the held-out set.
+    pub qor_test: f64,
+    /// Hardware model fidelity on the training set.
+    pub hw_train: f64,
+    /// Hardware model fidelity on the held-out set.
+    pub hw_test: f64,
+}
+
+/// Fits the QoR and hardware models of `engine` on a training set.
+///
+/// # Errors
+/// Propagates [`AutoAxError::Train`] when an engine cannot fit.
+pub fn fit_models(
+    engine: EngineKind,
+    space: &ConfigSpace,
+    lib: &ComponentLibrary,
+    train: &EvaluatedSet,
+    seed: u64,
+) -> Result<FittedModels, AutoAxError> {
+    let mut qor = engine.make(seed);
+    qor.fit(&train.qor_matrix(space), &train.ssim_targets())?;
+    let mut hw = engine.make(seed.wrapping_add(1));
+    hw.fit(&train.hw_matrix(space, lib), &train.area_targets())?;
+    Ok(FittedModels { qor, hw })
+}
+
+/// The paper's naïve models: `M_SSIM = −Σ WMED`, `M_a = Σ area`.
+///
+/// No training is involved; fidelity is invariant to monotone transforms,
+/// so the raw sums are directly comparable to learned models.
+pub fn naive_models(space: &ConfigSpace) -> FittedModels {
+    let n = space.slot_count();
+    FittedModels {
+        qor: Box::new(LinearFixed::new(vec![-1.0; n])),
+        hw: Box::new(LinearFixed::new(
+            (0..n).flat_map(|_| [1.0, 0.0, 0.0]).collect(),
+        )),
+    }
+}
+
+/// Measures the fidelity of fitted models on train and test sets.
+pub fn fidelity_report(
+    models: &FittedModels,
+    space: &ConfigSpace,
+    lib: &ComponentLibrary,
+    train: &EvaluatedSet,
+    test: &EvaluatedSet,
+) -> FidelityReport {
+    let f = |set: &EvaluatedSet, which_qor: bool| {
+        let preds: Vec<f64> = set
+            .configs
+            .iter()
+            .map(|c| {
+                if which_qor {
+                    models.qor.predict_row(&qor_features(space, c))
+                } else {
+                    models.hw.predict_row(&hw_features(space, lib, c))
+                }
+            })
+            .collect();
+        let real: Vec<f64> = if which_qor {
+            set.ssim_targets()
+        } else {
+            set.area_targets()
+        };
+        autoax_ml::fidelity(&preds, &real)
+    };
+    FidelityReport {
+        qor_train: f(train, true),
+        qor_test: f(test, true),
+        hw_train: f(train, false),
+        hw_test: f(test, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{preprocess, PreprocessOptions};
+    use autoax_accel::sobel::SobelEd;
+    use autoax_circuit::charlib::{build_library, LibraryConfig};
+    use autoax_image::synthetic::benchmark_suite;
+
+    struct Setup {
+        lib: ComponentLibrary,
+        images: Vec<autoax_image::GrayImage>,
+        pre: crate::preprocess::Preprocessed,
+        accel: SobelEd,
+    }
+
+    fn setup() -> Setup {
+        let accel = SobelEd::new();
+        let lib = build_library(&LibraryConfig::tiny());
+        let images = benchmark_suite(2, 48, 32, 5);
+        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+        Setup {
+            lib,
+            images,
+            pre,
+            accel,
+        }
+    }
+
+    #[test]
+    fn feature_shapes() {
+        let s = setup();
+        let c = s.pre.space.exact();
+        assert_eq!(qor_features(&s.pre.space, &c).len(), 5);
+        assert_eq!(hw_features(&s.pre.space, &s.lib, &c).len(), 15);
+    }
+
+    #[test]
+    fn random_forest_models_beat_naive_on_test_fidelity() {
+        let s = setup();
+        let ev = Evaluator::new(&s.accel, &s.lib, &s.pre.space, &s.images);
+        let train = EvaluatedSet::generate(&ev, &s.pre.space, 60, 1);
+        let test = EvaluatedSet::generate(&ev, &s.pre.space, 40, 2);
+        let rf = fit_models(EngineKind::RandomForest, &s.pre.space, &s.lib, &train, 7).unwrap();
+        let rf_rep = fidelity_report(&rf, &s.pre.space, &s.lib, &train, &test);
+        let naive = naive_models(&s.pre.space);
+        let nv_rep = fidelity_report(&naive, &s.pre.space, &s.lib, &train, &test);
+        assert!(rf_rep.qor_test > 0.7, "rf qor fidelity {:?}", rf_rep);
+        assert!(rf_rep.hw_test > 0.7, "rf hw fidelity {:?}", rf_rep);
+        // Table 3 shape: learned hardware model beats the naive
+        // sum-of-areas (synthesis removes logic the naive model counts).
+        assert!(
+            rf_rep.hw_test >= nv_rep.hw_test - 0.02,
+            "rf {:?} vs naive {:?}",
+            rf_rep,
+            nv_rep
+        );
+    }
+
+    #[test]
+    fn naive_qor_model_is_negated_wmed_sum() {
+        let s = setup();
+        let naive = naive_models(&s.pre.space);
+        let c = s.pre.space.exact();
+        let expect: f64 = -qor_features(&s.pre.space, &c).iter().sum::<f64>();
+        let (q, _) = naive.estimate(&s.pre.space, &s.lib, &c);
+        assert_eq!(q, expect);
+    }
+
+    #[test]
+    fn generated_sets_are_deterministic() {
+        let s = setup();
+        let ev = Evaluator::new(&s.accel, &s.lib, &s.pre.space, &s.images);
+        let a = EvaluatedSet::generate(&ev, &s.pre.space, 10, 3);
+        let b = EvaluatedSet::generate(&ev, &s.pre.space, 10, 3);
+        assert_eq!(a.configs, b.configs);
+        assert_eq!(a.ssim_targets(), b.ssim_targets());
+    }
+}

@@ -1,0 +1,343 @@
+//! Pareto fronts over (QoR, hardware-cost) trade-offs, the `ParetoInsert`
+//! operation of Algorithm 1, and the front-distance metrics of Table 4.
+
+/// One point in the two-objective trade-off space: QoR is maximized,
+/// cost is minimized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Quality of result (higher is better; e.g. SSIM).
+    pub qor: f64,
+    /// Hardware cost (lower is better; e.g. area).
+    pub cost: f64,
+}
+
+impl TradeoffPoint {
+    /// Creates a point.
+    pub fn new(qor: f64, cost: f64) -> Self {
+        TradeoffPoint { qor, cost }
+    }
+
+    /// True if `self` Pareto-dominates `other`: no worse in both
+    /// objectives and strictly better in at least one.
+    pub fn dominates(&self, other: &TradeoffPoint) -> bool {
+        self.qor >= other.qor
+            && self.cost <= other.cost
+            && (self.qor > other.qor || self.cost < other.cost)
+    }
+}
+
+/// A Pareto set of payloads keyed by their trade-off points.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFront<T> {
+    points: Vec<(TradeoffPoint, T)>,
+}
+
+impl<T> ParetoFront<T> {
+    /// An empty front.
+    pub fn new() -> Self {
+        ParetoFront { points: Vec::new() }
+    }
+
+    /// The `ParetoInsert` of Algorithm 1: inserts the candidate iff it is
+    /// neither dominated by nor identical to any member, removing every
+    /// member it dominates. Returns `true` when the candidate was
+    /// inserted.
+    ///
+    /// Point-identical candidates are rejected so that revisiting a
+    /// configuration (or finding another with the same estimates) does not
+    /// grow the set — matching the paper's insert-on-domination semantics.
+    pub fn try_insert(&mut self, p: TradeoffPoint, payload: T) -> bool {
+        if self
+            .points
+            .iter()
+            .any(|(q, _)| q.dominates(&p) || (q.qor == p.qor && q.cost == p.cost))
+        {
+            return false;
+        }
+        self.points.retain(|(q, _)| !p.dominates(q));
+        self.points.push((p, payload));
+        true
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over `(point, payload)`.
+    pub fn iter(&self) -> impl Iterator<Item = &(TradeoffPoint, T)> {
+        self.points.iter()
+    }
+
+    /// The trade-off points alone.
+    pub fn points(&self) -> Vec<TradeoffPoint> {
+        self.points.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// Consumes the front into its members, sorted by ascending cost.
+    pub fn into_sorted(mut self) -> Vec<(TradeoffPoint, T)> {
+        self.points.sort_by(|a, b| {
+            a.0.cost
+                .partial_cmp(&b.0.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.points
+    }
+}
+
+impl<T> FromIterator<(TradeoffPoint, T)> for ParetoFront<T> {
+    fn from_iter<I: IntoIterator<Item = (TradeoffPoint, T)>>(iter: I) -> Self {
+        let mut f = ParetoFront::new();
+        for (p, t) in iter {
+            f.try_insert(p, t);
+        }
+        f
+    }
+}
+
+/// Normalizes two point sets into `[0, 1]²` over their joint bounding box
+/// (the paper: "the distance is calculated from estimated QoR and HW
+/// parameters normalized to range <0,1>").
+pub fn normalize_joint(
+    a: &[TradeoffPoint],
+    b: &[TradeoffPoint],
+) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+    let mut qmin = f64::INFINITY;
+    let mut qmax = f64::NEG_INFINITY;
+    let mut cmin = f64::INFINITY;
+    let mut cmax = f64::NEG_INFINITY;
+    for p in a.iter().chain(b.iter()) {
+        qmin = qmin.min(p.qor);
+        qmax = qmax.max(p.qor);
+        cmin = cmin.min(p.cost);
+        cmax = cmax.max(p.cost);
+    }
+    let qs = (qmax - qmin).max(1e-12);
+    let cs = (cmax - cmin).max(1e-12);
+    let map = |pts: &[TradeoffPoint]| {
+        pts.iter()
+            .map(|p| ((p.qor - qmin) / qs, (p.cost - cmin) / cs))
+            .collect()
+    };
+    (map(a), map(b))
+}
+
+/// Average and maximum directed Euclidean distance from each point of
+/// `from` to its nearest point of `to` (inputs already normalized).
+///
+/// Returns `(avg, max)`; `(0, 0)` when `from` is empty.
+///
+/// # Panics
+/// Panics if `to` is empty while `from` is not.
+pub fn directed_distance(from: &[(f64, f64)], to: &[(f64, f64)]) -> (f64, f64) {
+    if from.is_empty() {
+        return (0.0, 0.0);
+    }
+    assert!(!to.is_empty(), "reference front must not be empty");
+    let mut sum = 0.0;
+    let mut max = 0.0f64;
+    for &(x, y) in from {
+        let d = to
+            .iter()
+            .map(|&(u, v)| ((x - u).powi(2) + (y - v).powi(2)).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        sum += d;
+        max = max.max(d);
+    }
+    (sum / from.len() as f64, max)
+}
+
+/// The Table 4 distance report between an obtained front `s` and the
+/// optimal front `p`: `to_optimal` = distances from members of `s` to the
+/// nearest optimal point, `from_optimal` = distances from optimal points
+/// to the nearest obtained point. Both as `(avg, max)` on jointly
+/// normalized coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontDistances {
+    /// `(avg, max)` of min-distances from obtained to optimal.
+    pub to_optimal: (f64, f64),
+    /// `(avg, max)` of min-distances from optimal to obtained.
+    pub from_optimal: (f64, f64),
+}
+
+/// Computes [`FrontDistances`] between an obtained and an optimal front.
+pub fn front_distances(obtained: &[TradeoffPoint], optimal: &[TradeoffPoint]) -> FrontDistances {
+    let (s, p) = normalize_joint(obtained, optimal);
+    FrontDistances {
+        to_optimal: directed_distance(&s, &p),
+        from_optimal: directed_distance(&p, &s),
+    }
+}
+
+/// A three-objective Pareto set used for the final selection ("Pareto
+/// optimal in terms of area, SSIM and energy", paper Section 4.2):
+/// QoR maximized, both costs minimized.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFront3<T> {
+    points: Vec<([f64; 3], T)>, // [qor, cost_a, cost_b]
+}
+
+impl<T> ParetoFront3<T> {
+    /// An empty front.
+    pub fn new() -> Self {
+        ParetoFront3 { points: Vec::new() }
+    }
+
+    /// Inserts iff non-dominated; removes newly dominated members.
+    pub fn try_insert(&mut self, qor: f64, cost_a: f64, cost_b: f64, payload: T) -> bool {
+        let p = [qor, cost_a, cost_b];
+        let dom = |a: &[f64; 3], b: &[f64; 3]| {
+            a[0] >= b[0]
+                && a[1] <= b[1]
+                && a[2] <= b[2]
+                && (a[0] > b[0] || a[1] < b[1] || a[2] < b[2])
+        };
+        if self.points.iter().any(|(q, _)| dom(q, &p)) {
+            return false;
+        }
+        self.points.retain(|(q, _)| !dom(&p, q));
+        self.points.push((p, payload));
+        true
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over `([qor, cost_a, cost_b], payload)`.
+    pub fn iter(&self) -> impl Iterator<Item = &([f64; 3], T)> {
+        self.points.iter()
+    }
+
+    /// Consumes into members sorted by ascending `cost_a`.
+    pub fn into_sorted(mut self) -> Vec<([f64; 3], T)> {
+        self.points.sort_by(|a, b| {
+            a.0[1]
+                .partial_cmp(&b.0[1])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_definition() {
+        let a = TradeoffPoint::new(0.9, 10.0);
+        let b = TradeoffPoint::new(0.8, 12.0);
+        let c = TradeoffPoint::new(0.9, 10.0);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c), "equal points do not dominate");
+    }
+
+    #[test]
+    fn insert_keeps_front_minimal() {
+        let mut f = ParetoFront::new();
+        assert!(f.try_insert(TradeoffPoint::new(0.5, 50.0), "a"));
+        assert!(f.try_insert(TradeoffPoint::new(0.9, 100.0), "b"));
+        assert!(f.try_insert(TradeoffPoint::new(0.7, 70.0), "c"));
+        assert_eq!(f.len(), 3);
+        // dominated candidate rejected
+        assert!(!f.try_insert(TradeoffPoint::new(0.4, 60.0), "d"));
+        assert_eq!(f.len(), 3);
+        // dominating candidate evicts two members
+        assert!(f.try_insert(TradeoffPoint::new(0.95, 45.0), "e"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn front_invariant_no_mutual_domination() {
+        let mut f = ParetoFront::new();
+        let mut st = 77u64;
+        for _ in 0..500 {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let q = (st >> 40) as f64 / (1u64 << 24) as f64;
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let c = (st >> 40) as f64 / (1u64 << 24) as f64;
+            f.try_insert(TradeoffPoint::new(q, c), ());
+        }
+        let pts = f.points();
+        for (i, a) in pts.iter().enumerate() {
+            for (j, b) in pts.iter().enumerate() {
+                if i != j {
+                    assert!(!a.dominates(b), "{a:?} dominates {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distances_zero_for_identical_fronts() {
+        let pts = vec![
+            TradeoffPoint::new(0.9, 10.0),
+            TradeoffPoint::new(0.8, 5.0),
+            TradeoffPoint::new(0.99, 30.0),
+        ];
+        let d = front_distances(&pts, &pts);
+        assert_eq!(d.to_optimal, (0.0, 0.0));
+        assert_eq!(d.from_optimal, (0.0, 0.0));
+    }
+
+    #[test]
+    fn missing_region_increases_from_optimal() {
+        let optimal = vec![
+            TradeoffPoint::new(0.1, 1.0),
+            TradeoffPoint::new(0.5, 5.0),
+            TradeoffPoint::new(0.9, 9.0),
+        ];
+        // obtained covers only the cheap end
+        let obtained = vec![TradeoffPoint::new(0.1, 1.0)];
+        let d = front_distances(&obtained, &optimal);
+        assert_eq!(d.to_optimal.0, 0.0);
+        assert!(d.from_optimal.0 > 0.3);
+        assert!(d.from_optimal.1 > 0.9);
+    }
+
+    #[test]
+    fn normalization_uses_joint_bounds() {
+        let a = vec![TradeoffPoint::new(0.0, 0.0)];
+        let b = vec![TradeoffPoint::new(1.0, 100.0)];
+        let (na, nb) = normalize_joint(&a, &b);
+        assert_eq!(na[0], (0.0, 0.0));
+        assert_eq!(nb[0], (1.0, 1.0));
+    }
+
+    #[test]
+    fn pareto3_dominance() {
+        let mut f = ParetoFront3::new();
+        assert!(f.try_insert(0.9, 10.0, 5.0, "a"));
+        // better qor, worse energy: non-dominated
+        assert!(f.try_insert(0.95, 10.0, 6.0, "b"));
+        // dominated in all three
+        assert!(!f.try_insert(0.89, 11.0, 6.0, "c"));
+        // dominates "a"
+        assert!(f.try_insert(0.91, 9.0, 4.0, "d"));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn into_sorted_orders_by_cost() {
+        let mut f = ParetoFront::new();
+        f.try_insert(TradeoffPoint::new(0.9, 30.0), 1);
+        f.try_insert(TradeoffPoint::new(0.5, 10.0), 2);
+        f.try_insert(TradeoffPoint::new(0.7, 20.0), 3);
+        let sorted = f.into_sorted();
+        let costs: Vec<f64> = sorted.iter().map(|(p, _)| p.cost).collect();
+        assert_eq!(costs, vec![10.0, 20.0, 30.0]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Step 1 of the methodology: library pre-processing (paper Section 2.2).
+//!
+//! For every operation slot of the accelerator, profile its operand PMF on
+//! benchmark data, score every library circuit of the slot's class with
+//! the WMED, and keep only the circuits on the per-slot WMED/area Pareto
+//! front. The paper reduces the 8-bit adder class from 6979 circuits to
+//! 32–37 per Sobel slot this way.
+
+use crate::config::{ConfigSpace, SlotChoices, SlotMember};
+use crate::wmed::wmed_class;
+use autoax_accel::{Accelerator, Pmf};
+use autoax_circuit::charlib::{CircuitId, ComponentLibrary};
+use autoax_image::GrayImage;
+
+/// Options for library pre-processing.
+#[derive(Debug, Clone, Copy)]
+pub struct PreprocessOptions {
+    /// PMF mass fraction used for WMED computation (1.0 = exact; smaller
+    /// values truncate the support for speed; see `autoax::wmed`).
+    pub mass_frac: f64,
+    /// Optional cap on the reduced library size per slot (keeps the
+    /// `cap` lowest-WMED Pareto members; `None` = no cap). Used by
+    /// benchmarks that need an exhaustively enumerable reduced space.
+    pub slot_cap: Option<usize>,
+}
+
+impl Default for PreprocessOptions {
+    fn default() -> Self {
+        PreprocessOptions {
+            mass_frac: 0.999,
+            slot_cap: None,
+        }
+    }
+}
+
+/// Result of pre-processing: the reduced configuration space plus the
+/// profiled PMFs (kept for reporting — Fig. 3).
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// The reduced configuration space (`RL_1 × … × RL_n`).
+    pub space: ConfigSpace,
+    /// Per-slot operand PMFs.
+    pub pmfs: Vec<Pmf>,
+    /// `log10` of the unreduced space size (Table 5, "all possible").
+    pub full_log10_size: f64,
+}
+
+/// Runs library pre-processing for an accelerator.
+pub fn preprocess(
+    accel: &dyn Accelerator,
+    lib: &ComponentLibrary,
+    images: &[GrayImage],
+    opts: &PreprocessOptions,
+) -> Preprocessed {
+    let pmfs = autoax_accel::profile::profile(accel, images);
+    preprocess_with_pmfs(accel, lib, pmfs, opts)
+}
+
+/// Pre-processing with already-profiled PMFs (lets callers reuse the
+/// profiling pass).
+pub fn preprocess_with_pmfs(
+    accel: &dyn Accelerator,
+    lib: &ComponentLibrary,
+    pmfs: Vec<Pmf>,
+    opts: &PreprocessOptions,
+) -> Preprocessed {
+    let mut slots = Vec::with_capacity(accel.slots().len());
+    let mut full_log10 = 0.0;
+    for (slot, pmf) in accel.slots().iter().zip(pmfs.iter()) {
+        let class = lib.class(slot.signature);
+        assert!(
+            !class.is_empty(),
+            "library has no circuits for class {}",
+            slot.signature
+        );
+        full_log10 += (class.len() as f64).log10();
+        let wmeds = wmed_class(class, pmf, opts.mass_frac);
+        let mut members = pareto_filter(class.iter().map(|e| e.hw.area).collect(), &wmeds);
+        if let Some(cap) = opts.slot_cap {
+            // keep the cap members spread across the WMED range:
+            // sort by WMED and take an even subsample (always keeping the
+            // exact circuit and the cheapest one).
+            if members.len() > cap {
+                members.sort_by(|a, b| {
+                    wmeds[a.0 as usize]
+                        .partial_cmp(&wmeds[b.0 as usize])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let n = members.len();
+                let picked: Vec<CircuitId> = (0..cap)
+                    .map(|i| members[i * (n - 1) / (cap - 1).max(1)])
+                    .collect();
+                members = picked;
+            }
+        }
+        let mut slot_members: Vec<SlotMember> = members
+            .into_iter()
+            .map(|id| SlotMember {
+                id,
+                wmed: wmeds[id.0 as usize],
+            })
+            .collect();
+        // The globally exact circuit (id 0) is always retained even when a
+        // cheaper workload-exact circuit shadows it on the (WMED, area)
+        // front — configurations must be able to express "accurate here".
+        if !slot_members.iter().any(|m| m.id == CircuitId(0)) {
+            if let Some(cap) = opts.slot_cap {
+                if slot_members.len() >= cap.max(1) {
+                    slot_members.pop(); // drop the highest-WMED member
+                }
+            }
+            slot_members.push(SlotMember {
+                id: CircuitId(0),
+                wmed: wmeds[0],
+            });
+        }
+        // deterministic order: ascending WMED (exact first)
+        slot_members.sort_by(|a, b| {
+            a.wmed
+                .partial_cmp(&b.wmed)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        slots.push(SlotChoices {
+            name: slot.name.clone(),
+            signature: slot.signature,
+            members: slot_members,
+        });
+    }
+    Preprocessed {
+        space: ConfigSpace::new(slots),
+        pmfs,
+        full_log10_size: full_log10,
+    }
+}
+
+/// Keeps the indices whose `(wmed, area)` pairs are Pareto-optimal
+/// (both minimized). Ties on both objectives keep the first occurrence.
+fn pareto_filter(areas: Vec<f64>, wmeds: &[f64]) -> Vec<CircuitId> {
+    assert_eq!(areas.len(), wmeds.len());
+    let mut idx: Vec<usize> = (0..areas.len()).collect();
+    // sort by wmed asc, then area asc
+    idx.sort_by(|&a, &b| {
+        wmeds[a]
+            .partial_cmp(&wmeds[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                areas[a]
+                    .partial_cmp(&areas[b])
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+    let mut kept = Vec::new();
+    let mut best_area = f64::INFINITY;
+    let mut last_wmed = f64::NEG_INFINITY;
+    for i in idx {
+        if areas[i] < best_area {
+            // skip duplicates with identical (wmed, area)
+            if wmeds[i] == last_wmed && areas[i] == best_area {
+                continue;
+            }
+            kept.push(CircuitId(i as u32));
+            best_area = areas[i];
+            last_wmed = wmeds[i];
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoax_accel::sobel::SobelEd;
+    use autoax_circuit::charlib::{build_library, LibraryConfig};
+    use autoax_image::synthetic::benchmark_suite;
+
+    fn tiny_setup() -> (SobelEd, ComponentLibrary, Vec<GrayImage>) {
+        let lib = build_library(&LibraryConfig::tiny());
+        let images = benchmark_suite(2, 48, 32, 3);
+        (SobelEd::new(), lib, images)
+    }
+
+    #[test]
+    fn pareto_filter_keeps_staircase() {
+        // wmed:   0, 1, 2, 3
+        // area:  10, 5, 7, 2   -> (0,10), (1,5), (3,2) kept; (2,7) dominated
+        let kept = pareto_filter(vec![10.0, 5.0, 7.0, 2.0], &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(kept, vec![CircuitId(0), CircuitId(1), CircuitId(3)]);
+    }
+
+    #[test]
+    fn pareto_filter_single_element() {
+        assert_eq!(pareto_filter(vec![4.0], &[0.5]), vec![CircuitId(0)]);
+    }
+
+    #[test]
+    fn reduced_space_is_smaller_and_keeps_exact() {
+        let (accel, lib, images) = tiny_setup();
+        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+        assert_eq!(pre.space.slot_count(), 5);
+        for (slot, choices) in accel.slots().iter().zip(pre.space.slots().iter()) {
+            let full = lib.class_size(slot.signature);
+            assert!(choices.members.len() <= full);
+            assert!(!choices.members.is_empty());
+            // a zero-WMED circuit survives and comes first (it may be a
+            // cheaper circuit that is exact on the profiled operands
+            // rather than the globally exact one)
+            assert_eq!(choices.members[0].wmed, 0.0);
+        }
+        assert!(pre.space.log10_size() <= pre.full_log10_size);
+    }
+
+    #[test]
+    fn reduced_members_are_pareto_in_wmed_area() {
+        let (accel, lib, images) = tiny_setup();
+        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+        for choices in pre.space.slots() {
+            let class = lib.class(choices.signature);
+            for (i, a) in choices.members.iter().enumerate() {
+                // the globally exact circuit is exempt: it is retained by
+                // policy even when a workload-exact circuit dominates it
+                if a.id == CircuitId(0) {
+                    continue;
+                }
+                for (j, b) in choices.members.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let dominated = b.wmed <= a.wmed
+                        && class[b.id.0 as usize].hw.area <= class[a.id.0 as usize].hw.area
+                        && (b.wmed < a.wmed
+                            || class[b.id.0 as usize].hw.area < class[a.id.0 as usize].hw.area);
+                    assert!(!dominated, "slot {}: member {i} dominated", choices.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_cap_limits_size() {
+        let (accel, lib, images) = tiny_setup();
+        let opts = PreprocessOptions {
+            slot_cap: Some(4),
+            ..Default::default()
+        };
+        let pre = preprocess(&accel, &lib, &images, &opts);
+        for choices in pre.space.slots() {
+            assert!(choices.members.len() <= 4);
+            assert_eq!(choices.members[0].wmed, 0.0, "zero-WMED member kept");
+        }
+    }
+
+    #[test]
+    fn pmfs_are_returned_per_slot() {
+        let (accel, lib, images) = tiny_setup();
+        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+        assert_eq!(pre.pmfs.len(), 5);
+        for pmf in &pre.pmfs {
+            assert!(pmf.total() > 0);
+        }
+        // image workloads concentrate adder operands near the diagonal
+        assert!(pre.pmfs[0].diagonal_mass(32) > 0.5);
+    }
+}

@@ -1,0 +1,95 @@
+//! Exhaustive Pareto construction over a (small enough) configuration
+//! space — used for the "Optimal Pareto" row of Table 4, where the paper
+//! enumerates all 4.92·10^7 reduced Sobel configurations.
+
+use super::Estimator;
+use crate::config::{ConfigSpace, Configuration};
+use crate::pareto::ParetoFront;
+
+/// Enumerates the whole space and returns its exact Pareto front under the
+/// estimator.
+///
+/// # Panics
+/// Panics if the space exceeds 10^8 configurations (see
+/// [`ConfigSpace::iter_all`]).
+pub fn exhaustive_front(
+    space: &ConfigSpace,
+    estimator: &impl Estimator,
+) -> ParetoFront<Configuration> {
+    let mut front = ParetoFront::new();
+    for c in space.iter_all() {
+        let est = estimator.estimate(&c);
+        front.try_insert(est, c);
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SlotChoices, SlotMember};
+    use crate::pareto::TradeoffPoint;
+    use crate::search::{heuristic_pareto, SearchOptions};
+    use autoax_circuit::charlib::CircuitId;
+    use autoax_circuit::OpSignature;
+
+    fn toy_space(slots: usize, per_slot: usize) -> ConfigSpace {
+        ConfigSpace::new(
+            (0..slots)
+                .map(|i| SlotChoices {
+                    name: format!("s{i}"),
+                    signature: OpSignature::ADD8,
+                    members: (0..per_slot)
+                        .map(|k| SlotMember {
+                            id: CircuitId(k as u32),
+                            wmed: k as f64,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        )
+    }
+
+    fn estimator(c: &Configuration) -> TradeoffPoint {
+        let t: f64 = c.0.iter().map(|&v| v as f64 * v as f64).sum();
+        let u: f64 = c.0.iter().map(|&v| 9.0 - v as f64).sum();
+        TradeoffPoint::new(-t, u)
+    }
+
+    #[test]
+    fn heuristic_front_converges_to_exhaustive_optimum() {
+        let space = toy_space(4, 4); // 256 configs
+        let optimal = exhaustive_front(&space, &estimator);
+        // With a budget far above the space size the heuristic visits
+        // everything reachable and its front matches the optimum.
+        let heuristic = heuristic_pareto(
+            &space,
+            &estimator,
+            &SearchOptions {
+                max_evals: 20_000,
+                stagnation_limit: 30,
+                seed: 1,
+            },
+        );
+        let d = crate::pareto::front_distances(&heuristic.points(), &optimal.points());
+        assert!(d.to_optimal.1 < 1e-9, "{d:?}");
+        assert!(d.from_optimal.1 < 1e-9, "{d:?}");
+    }
+
+    #[test]
+    fn front_of_monotone_landscape_is_full_diagonal() {
+        let space = toy_space(2, 3);
+        // qor = -sum (maximize => prefer small sums), cost = 10 - sum
+        // (minimize => prefer large sums): a genuine trade-off where every
+        // distinct sum 0..=4 is non-dominated.
+        let est = |c: &Configuration| {
+            let t: f64 = c.0.iter().map(|&v| v as f64).sum();
+            TradeoffPoint::new(-t, 10.0 - t)
+        };
+        let front = exhaustive_front(&space, &est);
+        let mut costs: Vec<f64> = front.points().iter().map(|p| p.cost).collect();
+        costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        costs.dedup();
+        assert_eq!(costs, vec![6.0, 7.0, 8.0, 9.0, 10.0]);
+    }
+}

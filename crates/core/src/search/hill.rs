@@ -1,0 +1,187 @@
+//! Algorithm 1 of the paper: heuristic Pareto set construction by
+//! stochastic hill climbing over model estimates.
+//!
+//! ```text
+//! Parent <- PickRandomlyFrom(RL_1 x ... x RL_n)
+//! P <- {}
+//! while not TerminationCondition:
+//!     C <- GetNeighbour(Parent)
+//!     eQoR <- M_QoR(C); eHW <- M_HW(C)
+//!     if ParetoInsert(P, (eQoR, eHW), C): Parent <- C
+//!     else if StagnationDetected:        Parent <- PickRandomlyFrom(P)
+//! return P
+//! ```
+//!
+//! Stagnation means the parent has not changed for `stagnation_limit`
+//! successive iterations (the paper uses k = 50).
+
+use super::Estimator;
+use crate::config::{ConfigSpace, Configuration};
+use crate::pareto::ParetoFront;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Search budget and behaviour knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Number of candidate evaluations (model estimates).
+    pub max_evals: usize,
+    /// Parent-unchanged iterations before a restart (paper: 50).
+    pub stagnation_limit: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            max_evals: 100_000,
+            stagnation_limit: 50,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs Algorithm 1 and returns the pseudo-Pareto set.
+pub fn heuristic_pareto(
+    space: &ConfigSpace,
+    estimator: &impl Estimator,
+    opts: &SearchOptions,
+) -> ParetoFront<Configuration> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut parent = space.random(&mut rng);
+    let mut front: ParetoFront<Configuration> = ParetoFront::new();
+    let mut stagnation = 0usize;
+    for _ in 0..opts.max_evals {
+        let candidate = space.neighbor(&parent, &mut rng);
+        let est = estimator.estimate(&candidate);
+        if front.try_insert(est, candidate.clone()) {
+            parent = candidate;
+            stagnation = 0;
+        } else {
+            stagnation += 1;
+            if stagnation >= opts.stagnation_limit && !front.is_empty() {
+                let pick = rng.gen_range(0..front.len());
+                parent = front
+                    .iter()
+                    .nth(pick)
+                    .map(|(_, c)| c.clone())
+                    .expect("front member");
+                stagnation = 0;
+            }
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SlotChoices, SlotMember};
+    use crate::pareto::TradeoffPoint;
+    use autoax_circuit::charlib::CircuitId;
+    use autoax_circuit::OpSignature;
+
+    /// A synthetic space where member index k of every slot has
+    /// wmed = k and "area" = size - k: the true Pareto front is the whole
+    /// diagonal of sum-trade-offs.
+    fn toy_space(slots: usize, per_slot: usize) -> ConfigSpace {
+        ConfigSpace::new(
+            (0..slots)
+                .map(|i| SlotChoices {
+                    name: format!("s{i}"),
+                    signature: OpSignature::ADD8,
+                    members: (0..per_slot)
+                        .map(|k| SlotMember {
+                            id: CircuitId(k as u32),
+                            wmed: k as f64,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        )
+    }
+
+    fn toy_estimator(c: &Configuration) -> TradeoffPoint {
+        // qor decreases with total wmed, cost decreases with wmed
+        let total: f64 = c.0.iter().map(|&v| v as f64).sum();
+        TradeoffPoint::new(-total, 100.0 - total)
+    }
+
+    #[test]
+    fn finds_extreme_points() {
+        let space = toy_space(4, 6);
+        let opts = SearchOptions {
+            max_evals: 20_000,
+            stagnation_limit: 50,
+            seed: 3,
+        };
+        let front = heuristic_pareto(&space, &toy_estimator, &opts);
+        // with qor = -t and cost = 100 - t, every distinct t is
+        // non-dominated; the search should discover most of the 21 levels
+        assert!(front.len() >= 15, "only {} levels found", front.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = toy_space(3, 5);
+        let opts = SearchOptions {
+            max_evals: 5_000,
+            stagnation_limit: 50,
+            seed: 9,
+        };
+        let f1 = heuristic_pareto(&space, &toy_estimator, &opts);
+        let f2 = heuristic_pareto(&space, &toy_estimator, &opts);
+        assert_eq!(f1.len(), f2.len());
+        let p1: Vec<_> = f1.points().iter().map(|p| (p.qor, p.cost)).collect();
+        let p2: Vec<_> = f2.points().iter().map(|p| (p.qor, p.cost)).collect();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn front_members_are_mutually_nondominated() {
+        let space = toy_space(3, 4);
+        let estimator = |c: &Configuration| {
+            // rugged landscape: xor-style interactions
+            let a = c.0[0] as f64;
+            let b = c.0[1] as f64;
+            let d = c.0[2] as f64;
+            TradeoffPoint::new((a - b).abs() + d, a + b + 2.0 * d)
+        };
+        let front = heuristic_pareto(
+            &space,
+            &estimator,
+            &SearchOptions {
+                max_evals: 3000,
+                stagnation_limit: 20,
+                seed: 5,
+            },
+        );
+        let pts = front.points();
+        for (i, a) in pts.iter().enumerate() {
+            for (j, b) in pts.iter().enumerate() {
+                if i != j {
+                    assert!(!a.dominates(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_evals_do_not_shrink_front_quality() {
+        let space = toy_space(5, 8);
+        let run = |evals: usize| {
+            heuristic_pareto(
+                &space,
+                &toy_estimator,
+                &SearchOptions {
+                    max_evals: evals,
+                    stagnation_limit: 50,
+                    seed: 11,
+                },
+            )
+            .len()
+        };
+        assert!(run(20_000) >= run(500));
+    }
+}

@@ -1,0 +1,37 @@
+//! Step 3 of the methodology: model-based design space exploration.
+//!
+//! * [`hill`] — the paper's Algorithm 1 (stochastic hill climbing with
+//!   `ParetoInsert` and stagnation restarts);
+//! * [`random`] — the random-sampling baseline of Table 4 / Fig. 5;
+//! * [`uniform`] — the manual "uniform selection" baseline of Fig. 5;
+//! * [`exhaustive`] — full enumeration, used for the optimal fronts of
+//!   Table 4 and for tests.
+
+pub mod exhaustive;
+pub mod hill;
+pub mod random;
+pub mod uniform;
+
+pub use exhaustive::exhaustive_front;
+pub use hill::{heuristic_pareto, SearchOptions};
+pub use random::random_sampling;
+pub use uniform::uniform_selection;
+
+use crate::config::Configuration;
+use crate::pareto::TradeoffPoint;
+
+/// An estimation oracle mapping a configuration to `(QoR, cost)` — in the
+/// pipeline this is a pair of fitted models, in tests a closed form.
+pub trait Estimator {
+    /// Estimates the trade-off point of a configuration.
+    fn estimate(&self, c: &Configuration) -> TradeoffPoint;
+}
+
+impl<F> Estimator for F
+where
+    F: Fn(&Configuration) -> TradeoffPoint,
+{
+    fn estimate(&self, c: &Configuration) -> TradeoffPoint {
+        self(c)
+    }
+}

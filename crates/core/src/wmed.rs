@@ -1,0 +1,124 @@
+//! Weighted mean error distance (paper Section 2.2):
+//!
+//! `WMED_k(M̃) = Σ_{i ∈ I} D_k(i) · |M(i) − M̃(i)|`
+//!
+//! where `D_k` is the operand PMF of the accelerator's `k`-th operation,
+//! profiled on benchmark data. WMED is the application-aware error score
+//! that drives library pre-processing.
+
+use autoax_accel::Pmf;
+use autoax_circuit::util::par_map;
+use autoax_circuit::CircuitEntry;
+
+/// Computes the WMED of one circuit against a PMF support.
+///
+/// `support` is a list of `((a, b), probability)` pairs, typically
+/// obtained from [`Pmf::top_mass`].
+pub fn wmed_on_support(entry: &CircuitEntry, support: &[((u32, u32), f64)]) -> f64 {
+    let sig = entry.signature();
+    let mut acc = 0.0;
+    for &((a, b), p) in support {
+        let raw = entry.eval(a as u64, b as u64);
+        let err = sig.error(a as u64, b as u64, raw);
+        acc += p * err.unsigned_abs() as f64;
+    }
+    acc
+}
+
+/// Computes WMED for every circuit of a class in parallel.
+///
+/// `mass_frac` truncates the PMF support to its highest-probability prefix
+/// covering that fraction of the mass (1.0 = exact WMED); the truncation
+/// bounds the cost on the 2^16-point supports of the multiplier class.
+pub fn wmed_class(entries: &[CircuitEntry], pmf: &Pmf, mass_frac: f64) -> Vec<f64> {
+    let support = pmf.top_mass(mass_frac);
+    par_map(entries, |e| wmed_on_support(e, &support))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoax_circuit::charlib::{build_class, LibraryConfig};
+    use autoax_circuit::OpSignature;
+
+    fn diag_pmf() -> Pmf {
+        // Mass concentrated near small operands.
+        let mut p = Pmf::new();
+        for a in 0u32..32 {
+            for d in 0u32..4 {
+                p.add(a, (a + d).min(255));
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn exact_circuit_has_zero_wmed() {
+        let cfg = LibraryConfig::tiny();
+        let lib = build_class(OpSignature::ADD8, 10, &cfg, 1);
+        let pmf = diag_pmf();
+        let w = wmed_class(&lib, &pmf, 1.0);
+        assert_eq!(w[0], 0.0);
+        assert!(w[1..].iter().any(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn wmed_is_bounded_by_wce() {
+        let cfg = LibraryConfig::tiny();
+        let lib = build_class(OpSignature::ADD8, 20, &cfg, 2);
+        let pmf = diag_pmf();
+        let w = wmed_class(&lib, &pmf, 1.0);
+        for (e, &wm) in lib.iter().zip(w.iter()) {
+            assert!(
+                wm <= e.err.wce as f64 + 1e-9,
+                "{}: wmed {wm} > wce {}",
+                e.label,
+                e.err.wce
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_weighting_matters() {
+        // A circuit that truncates low bits is harmless for operands that
+        // are multiples of 8, harmful otherwise.
+        let cfg = LibraryConfig::tiny();
+        let lib = build_class(OpSignature::ADD8, 30, &cfg, 3);
+        let trunc = lib
+            .iter()
+            .find(|e| e.label.contains("trunc0_k3"))
+            .expect("trunc k=3 in library");
+        let mut aligned = Pmf::new();
+        let mut unaligned = Pmf::new();
+        for i in 0u32..16 {
+            aligned.add(i * 8, i * 8);
+            unaligned.add(i * 8 + 7, i * 8 + 7);
+        }
+        let w_aligned = wmed_on_support(trunc, &aligned.top_mass(1.0));
+        let w_unaligned = wmed_on_support(trunc, &unaligned.top_mass(1.0));
+        assert_eq!(w_aligned, 0.0);
+        assert!(w_unaligned > 0.0);
+    }
+
+    #[test]
+    fn mass_truncation_approximates_full_wmed() {
+        let cfg = LibraryConfig::tiny();
+        let lib = build_class(OpSignature::ADD8, 15, &cfg, 4);
+        // skewed pmf: a few dominant pairs plus a long tail
+        let mut p = Pmf::new();
+        for _ in 0..1000 {
+            p.add(100, 100);
+        }
+        for i in 0..200u32 {
+            p.add(i, 255 - i);
+        }
+        let full = wmed_class(&lib, &p, 1.0);
+        let trunc = wmed_class(&lib, &p, 0.95);
+        for (&f, &t) in full.iter().zip(trunc.iter()) {
+            assert!(t <= f + 1e-9, "truncated WMED must not exceed full");
+            if f > 0.0 {
+                assert!(t / f > 0.5, "truncation lost too much mass: {t} vs {f}");
+            }
+        }
+    }
+}

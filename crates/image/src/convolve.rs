@@ -1,0 +1,73 @@
+//! Reference (floating point) convolution used by golden models and tests.
+
+use crate::image::GrayImage;
+
+/// Convolves an image with a 3×3 kernel (replicated-edge padding), scales by
+/// `scale`, rounds and clamps to `0..=255`.
+///
+/// The kernel is row-major, `kernel[ky][kx]`, applied with the usual
+/// correlation convention (no flipping) since all paper kernels are
+/// symmetric.
+pub fn convolve3x3(img: &GrayImage, kernel: &[[f64; 3]; 3], scale: f64) -> GrayImage {
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0f64;
+        for (ky, row) in kernel.iter().enumerate() {
+            for (kx, &k) in row.iter().enumerate() {
+                let px = img.get_clamped(x as isize + kx as isize - 1, y as isize + ky as isize - 1);
+                acc += k * px as f64;
+            }
+        }
+        (acc * scale).round().clamp(0.0, 255.0) as u8
+    })
+}
+
+/// Like [`convolve3x3`] but takes the magnitude `|acc|` before clamping —
+/// the form edge detectors use.
+pub fn convolve3x3_abs(img: &GrayImage, kernel: &[[f64; 3]; 3], scale: f64) -> GrayImage {
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0f64;
+        for (ky, row) in kernel.iter().enumerate() {
+            for (kx, &k) in row.iter().enumerate() {
+                let px = img.get_clamped(x as isize + kx as isize - 1, y as isize + ky as isize - 1);
+                acc += k * px as f64;
+            }
+        }
+        (acc.abs() * scale).round().clamp(0.0, 255.0) as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_is_identity() {
+        let img = crate::synthetic::benchmark_suite(1, 32, 24, 9).remove(0);
+        let id = [[0.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 0.0]];
+        assert_eq!(convolve3x3(&img, &id, 1.0), img);
+    }
+
+    #[test]
+    fn box_blur_reduces_variance() {
+        let img = crate::synthetic::polygons(64, 48, 3, 6);
+        let k = [[1.0; 3]; 3];
+        let blurred = convolve3x3(&img, &k, 1.0 / 9.0);
+        let var = |im: &GrayImage| {
+            let m = im.mean();
+            im.data().iter().map(|&p| (p as f64 - m).powi(2)).sum::<f64>() / im.data().len() as f64
+        };
+        assert!(var(&blurred) < var(&img));
+    }
+
+    #[test]
+    fn abs_variant_detects_edges() {
+        // A vertical step edge produces strong output under a Sobel-x kernel.
+        let img = GrayImage::from_fn(16, 16, |x, _| if x < 8 { 0 } else { 200 });
+        let sobel_x = [[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]];
+        let edges = convolve3x3_abs(&img, &sobel_x, 1.0);
+        // Edge column x=7..8 must light up; flat regions must be zero.
+        assert!(edges.get(7, 8) > 100);
+        assert_eq!(edges.get(2, 8), 0);
+        assert_eq!(edges.get(13, 8), 0);
+    }
+}

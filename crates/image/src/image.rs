@@ -1,0 +1,144 @@
+//! 8-bit grayscale image container.
+
+/// An 8-bit grayscale image stored row-major.
+///
+/// Pixel access outside the image uses *clamped* (replicated-edge)
+/// coordinates via [`GrayImage::get_clamped`], which is the padding the
+/// paper's 3×3 filters need at the borders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates a black image of the given size.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        GrayImage {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Wraps existing pixel data (row-major, `width * height` bytes).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != width * height` or a dimension is zero.
+    pub fn from_data(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        assert_eq!(data.len(), width * height, "pixel buffer size mismatch");
+        GrayImage {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Builds an image by evaluating `f(x, y)` for every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        let mut img = GrayImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.data[y * width + x] = f(x, y);
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw row-major pixel data.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw pixel data.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.data[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Pixel at signed coordinates with replicated-edge padding.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[y * self.width + x]
+    }
+
+    /// Mean pixel intensity.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().map(|&p| p as f64).sum::<f64>() / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_black() {
+        let img = GrayImage::new(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert!(img.data().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn from_fn_and_get() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (x + 10 * y) as u8);
+        assert_eq!(img.get(2, 1), 12);
+        assert_eq!(img.get(0, 0), 0);
+    }
+
+    #[test]
+    fn clamped_access() {
+        let img = GrayImage::from_fn(3, 3, |x, y| (x + 3 * y) as u8);
+        assert_eq!(img.get_clamped(-1, -1), img.get(0, 0));
+        assert_eq!(img.get_clamped(5, 1), img.get(2, 1));
+        assert_eq!(img.get_clamped(1, 7), img.get(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_data_size_checked() {
+        let _ = GrayImage::from_data(2, 2, vec![0; 3]);
+    }
+
+    #[test]
+    fn mean_of_constant_image() {
+        let img = GrayImage::from_fn(8, 8, |_, _| 100);
+        assert_eq!(img.mean(), 100.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Auxiliary quality metrics: mean squared error and PSNR.
+//!
+//! The paper reports SSIM; these are provided for users who prefer the
+//! classic distortion metrics, and for cross-checking (SSIM and PSNR agree
+//! on the ordering of mild distortions).
+
+use crate::image::GrayImage;
+
+/// Mean squared error between two images of identical dimensions.
+///
+/// # Panics
+/// Panics if the images have different dimensions.
+pub fn mse(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(a.width(), b.width(), "MSE requires equal widths");
+    assert_eq!(a.height(), b.height(), "MSE requires equal heights");
+    let n = a.data().len() as f64;
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Peak signal-to-noise ratio in dB. Returns `f64::INFINITY` for identical
+/// images.
+pub fn psnr(a: &GrayImage, b: &GrayImage) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / m).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    #[test]
+    fn identical_images() {
+        let img = synthetic::natural_proxy(48, 32, 1);
+        assert_eq!(mse(&img, &img), 0.0);
+        assert!(psnr(&img, &img).is_infinite());
+    }
+
+    #[test]
+    fn mse_of_constant_offset() {
+        let a = GrayImage::from_fn(8, 8, |_, _| 100);
+        let b = GrayImage::from_fn(8, 8, |_, _| 110);
+        assert_eq!(mse(&a, &b), 100.0);
+        let p = psnr(&a, &b);
+        assert!((p - 28.13).abs() < 0.01, "psnr {p}");
+    }
+
+    #[test]
+    fn psnr_orders_distortions_like_ssim() {
+        let img = synthetic::natural_proxy(64, 48, 9);
+        let mild = GrayImage::from_fn(img.width(), img.height(), |x, y| {
+            img.get(x, y).saturating_add(3)
+        });
+        let harsh = GrayImage::from_fn(img.width(), img.height(), |x, y| {
+            img.get(x, y).wrapping_add(90)
+        });
+        assert!(psnr(&img, &mild) > psnr(&img, &harsh));
+        assert!(crate::ssim::ssim(&img, &mild) > crate::ssim::ssim(&img, &harsh));
+    }
+}

@@ -1,0 +1,146 @@
+//! Plain PGM (portable graymap, P2) import/export — lets users inspect
+//! the synthetic benchmark images and accelerator outputs with any image
+//! viewer, and feed their own grayscale data into the pipeline.
+
+use crate::image::GrayImage;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Serializes an image as plain-text PGM (`P2`).
+pub fn to_pgm(img: &GrayImage) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "P2");
+    let _ = writeln!(s, "{} {}", img.width(), img.height());
+    let _ = writeln!(s, "255");
+    for y in 0..img.height() {
+        let row: Vec<String> = (0..img.width())
+            .map(|x| img.get(x, y).to_string())
+            .collect();
+        let _ = writeln!(s, "{}", row.join(" "));
+    }
+    s
+}
+
+/// Writes an image to a `.pgm` file.
+///
+/// # Errors
+/// Propagates I/O errors from the filesystem.
+pub fn save_pgm(img: &GrayImage, path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, to_pgm(img))
+}
+
+/// Error parsing a PGM document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePgmError {
+    message: String,
+}
+
+impl ParsePgmError {
+    fn new(message: impl Into<String>) -> Self {
+        ParsePgmError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParsePgmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid PGM: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParsePgmError {}
+
+/// Parses a plain-text PGM (`P2`) document.
+///
+/// Values above the declared maximum are rescaled to `0..=255`.
+///
+/// # Errors
+/// Returns [`ParsePgmError`] for wrong magic, missing tokens, or pixel
+/// count mismatches.
+pub fn from_pgm(text: &str) -> Result<GrayImage, ParsePgmError> {
+    let mut tokens = text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with('#'))
+        .flat_map(|l| l.split_whitespace());
+    if tokens.next() != Some("P2") {
+        return Err(ParsePgmError::new("expected magic `P2`"));
+    }
+    let mut next_num = |what: &str| -> Result<u32, ParsePgmError> {
+        tokens
+            .next()
+            .ok_or_else(|| ParsePgmError::new(format!("missing {what}")))?
+            .parse::<u32>()
+            .map_err(|_| ParsePgmError::new(format!("non-numeric {what}")))
+    };
+    let width = next_num("width")? as usize;
+    let height = next_num("height")? as usize;
+    let maxval = next_num("maxval")?.max(1);
+    if width == 0 || height == 0 {
+        return Err(ParsePgmError::new("zero dimension"));
+    }
+    let mut data = Vec::with_capacity(width * height);
+    for _ in 0..width * height {
+        let v = next_num("pixel")?;
+        data.push(((v.min(maxval) * 255) / maxval) as u8);
+    }
+    Ok(GrayImage::from_data(width, height, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::natural_proxy;
+
+    #[test]
+    fn roundtrip_preserves_pixels() {
+        let img = natural_proxy(17, 11, 5);
+        let parsed = from_pgm(&to_pgm(&img)).unwrap();
+        assert_eq!(parsed, img);
+    }
+
+    #[test]
+    fn header_format() {
+        let img = GrayImage::from_fn(2, 2, |x, y| (x + 2 * y) as u8);
+        let s = to_pgm(&img);
+        let mut lines = s.lines();
+        assert_eq!(lines.next(), Some("P2"));
+        assert_eq!(lines.next(), Some("2 2"));
+        assert_eq!(lines.next(), Some("255"));
+        assert_eq!(lines.next(), Some("0 1"));
+        assert_eq!(lines.next(), Some("2 3"));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(from_pgm("P5\n1 1\n255\n0").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_pixels() {
+        assert!(from_pgm("P2\n2 2\n255\n1 2 3").is_err());
+    }
+
+    #[test]
+    fn rescales_nonstandard_maxval() {
+        let img = from_pgm("P2\n2 1\n15\n0 15").unwrap();
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(1, 0), 255);
+    }
+
+    #[test]
+    fn ignores_comment_lines() {
+        let img = from_pgm("P2\n# a comment\n1 1\n255\n42").unwrap();
+        assert_eq!(img.get(0, 0), 42);
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let img = natural_proxy(8, 6, 9);
+        let dir = std::env::temp_dir().join("autoax_pgm_test.pgm");
+        save_pgm(&img, &dir).unwrap();
+        let back = from_pgm(&std::fs::read_to_string(&dir).unwrap()).unwrap();
+        assert_eq!(back, img);
+        let _ = std::fs::remove_file(&dir);
+    }
+}

@@ -1,0 +1,190 @@
+//! Structural similarity index (SSIM), Wang et al. 2004 — the QoR metric of
+//! the paper.
+//!
+//! Implemented with the standard parameters: an 11×11 Gaussian window with
+//! σ = 1.5, K1 = 0.01, K2 = 0.03, dynamic range L = 255. The windowed
+//! statistics are computed with separable Gaussian filtering over float
+//! planes, so a full 384×256 comparison costs a few milliseconds.
+
+use crate::image::GrayImage;
+
+const K1: f64 = 0.01;
+const K2: f64 = 0.03;
+const L: f64 = 255.0;
+const WINDOW_RADIUS: usize = 5;
+
+/// The 11-tap Gaussian window (σ = 1.5), normalized to sum 1.
+fn gaussian_taps() -> [f64; 2 * WINDOW_RADIUS + 1] {
+    let sigma = 1.5f64;
+    let mut taps = [0.0; 2 * WINDOW_RADIUS + 1];
+    let mut sum = 0.0;
+    for (i, t) in taps.iter_mut().enumerate() {
+        let d = i as f64 - WINDOW_RADIUS as f64;
+        *t = (-d * d / (2.0 * sigma * sigma)).exp();
+        sum += *t;
+    }
+    for t in taps.iter_mut() {
+        *t /= sum;
+    }
+    taps
+}
+
+/// Separable Gaussian filter over an `f64` plane with replicated edges.
+fn gauss_filter(plane: &[f64], width: usize, height: usize) -> Vec<f64> {
+    let taps = gaussian_taps();
+    let r = WINDOW_RADIUS as isize;
+    let mut tmp = vec![0.0f64; width * height];
+    // horizontal pass
+    for y in 0..height {
+        let row = &plane[y * width..(y + 1) * width];
+        for x in 0..width {
+            let mut acc = 0.0;
+            for (k, &t) in taps.iter().enumerate() {
+                let xx = (x as isize + k as isize - r).clamp(0, width as isize - 1) as usize;
+                acc += t * row[xx];
+            }
+            tmp[y * width + x] = acc;
+        }
+    }
+    // vertical pass
+    let mut out = vec![0.0f64; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let mut acc = 0.0;
+            for (k, &t) in taps.iter().enumerate() {
+                let yy = (y as isize + k as isize - r).clamp(0, height as isize - 1) as usize;
+                acc += t * tmp[yy * width + x];
+            }
+            out[y * width + x] = acc;
+        }
+    }
+    out
+}
+
+/// Mean SSIM between two images of identical dimensions.
+///
+/// Returns a value in `(-1, 1]`; `1.0` iff the images are identical.
+///
+/// # Panics
+/// Panics if the images have different dimensions.
+pub fn ssim(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(a.width(), b.width(), "SSIM requires equal widths");
+    assert_eq!(a.height(), b.height(), "SSIM requires equal heights");
+    let (w, h) = (a.width(), a.height());
+    let n = w * h;
+    let ap: Vec<f64> = a.data().iter().map(|&p| p as f64).collect();
+    let bp: Vec<f64> = b.data().iter().map(|&p| p as f64).collect();
+    let a2: Vec<f64> = ap.iter().map(|v| v * v).collect();
+    let b2: Vec<f64> = bp.iter().map(|v| v * v).collect();
+    let ab: Vec<f64> = ap.iter().zip(bp.iter()).map(|(x, y)| x * y).collect();
+
+    let mu_a = gauss_filter(&ap, w, h);
+    let mu_b = gauss_filter(&bp, w, h);
+    let m_a2 = gauss_filter(&a2, w, h);
+    let m_b2 = gauss_filter(&b2, w, h);
+    let m_ab = gauss_filter(&ab, w, h);
+
+    let c1 = (K1 * L) * (K1 * L);
+    let c2 = (K2 * L) * (K2 * L);
+    let mut total = 0.0;
+    for i in 0..n {
+        let (ma, mb) = (mu_a[i], mu_b[i]);
+        let va = (m_a2[i] - ma * ma).max(0.0);
+        let vb = (m_b2[i] - mb * mb).max(0.0);
+        let cov = m_ab[i] - ma * mb;
+        let s = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+            / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+        total += s;
+    }
+    total / n as f64
+}
+
+/// Mean SSIM of a processed image suite against golden outputs:
+/// `mean(ssim(approx[i], golden[i]))`.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn mean_ssim(approx: &[GrayImage], golden: &[GrayImage]) -> f64 {
+    assert_eq!(approx.len(), golden.len());
+    assert!(!approx.is_empty());
+    approx
+        .iter()
+        .zip(golden.iter())
+        .map(|(a, g)| ssim(a, g))
+        .sum::<f64>()
+        / approx.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    #[test]
+    fn identical_images_score_one() {
+        let img = synthetic::natural_proxy(64, 48, 5);
+        assert!((ssim(&img, &img) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = synthetic::natural_proxy(64, 48, 5);
+        let b = synthetic::value_noise(64, 48, 6, 4);
+        assert!((ssim(&a, &b) - ssim(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_noise_scores_high_heavy_noise_scores_lower() {
+        let img = synthetic::natural_proxy(96, 64, 7);
+        let perturb = |amount: i32, seed: u64| {
+            let mut st = seed;
+            GrayImage::from_fn(img.width(), img.height(), |x, y| {
+                let r = synthetic_test_noise(&mut st, amount);
+                (img.get(x, y) as i32 + r).clamp(0, 255) as u8
+            })
+        };
+        let light = perturb(2, 1);
+        let heavy = perturb(60, 2);
+        let s_light = ssim(&img, &light);
+        let s_heavy = ssim(&img, &heavy);
+        assert!(s_light > 0.95, "light noise: {s_light}");
+        assert!(s_heavy < s_light, "heavy {s_heavy} !< light {s_light}");
+        assert!(s_heavy < 0.8, "heavy noise should hurt: {s_heavy}");
+    }
+
+    #[test]
+    fn constant_shift_scores_below_one() {
+        let img = synthetic::natural_proxy(64, 48, 8);
+        let shifted = GrayImage::from_fn(img.width(), img.height(), |x, y| {
+            img.get(x, y).saturating_add(40)
+        });
+        let s = ssim(&img, &shifted);
+        assert!(s < 0.999 && s > 0.0);
+    }
+
+    #[test]
+    fn mean_ssim_averages() {
+        let a = synthetic::natural_proxy(32, 24, 1);
+        let b = synthetic::value_noise(32, 24, 2, 3);
+        let m = mean_ssim(&[a.clone(), a.clone()], &[a.clone(), b.clone()]);
+        let expected = (1.0 + ssim(&a, &b)) / 2.0;
+        assert!((m - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn dimension_mismatch_panics() {
+        let a = GrayImage::new(4, 4);
+        let b = GrayImage::new(5, 4);
+        let _ = ssim(&a, &b);
+    }
+}
+
+/// Tiny deterministic signed-noise helper for tests (kept out of the public
+/// API surface).
+#[doc(hidden)]
+pub fn synthetic_test_noise(state: &mut u64, amount: i32) -> i32 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let r = (*state >> 33) as i32;
+    (r % (2 * amount + 1)) - amount
+}

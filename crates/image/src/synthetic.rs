@@ -1,0 +1,226 @@
+//! Deterministic synthetic benchmark images.
+//!
+//! A stand-in for the Berkeley Segmentation Dataset used by the paper
+//! (384×256 grayscale). The generators are designed so that the images have
+//! natural-image statistics in the one respect the methodology depends on:
+//! *neighbouring pixels are strongly correlated*, which makes the profiled
+//! operand PMFs concentrate near the diagonal (paper Fig. 3).
+//!
+//! Every generator is a pure function of its seed; the whole suite is
+//! reproducible bit-for-bit.
+
+use crate::image::GrayImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Smooth multi-octave value noise ("cloud" texture).
+pub fn value_noise(width: usize, height: usize, seed: u64, octaves: u32) -> GrayImage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random lattice per octave; bilinear interpolation between lattice
+    // points gives C0-smooth fields.
+    let mut acc = vec![0.0f64; width * height];
+    let mut amplitude = 1.0;
+    let mut total_amp = 0.0;
+    for octave in 0..octaves {
+        let cell = (32usize >> octave).max(2);
+        let gw = width / cell + 2;
+        let gh = height / cell + 2;
+        let lattice: Vec<f64> = (0..gw * gh).map(|_| rng.gen::<f64>()).collect();
+        for y in 0..height {
+            for x in 0..width {
+                let fx = x as f64 / cell as f64;
+                let fy = y as f64 / cell as f64;
+                let x0 = fx as usize;
+                let y0 = fy as usize;
+                let tx = fx - x0 as f64;
+                let ty = fy - y0 as f64;
+                // smoothstep for softer gradients
+                let sx = tx * tx * (3.0 - 2.0 * tx);
+                let sy = ty * ty * (3.0 - 2.0 * ty);
+                let l = |gx: usize, gy: usize| lattice[gy * gw + gx];
+                let v = l(x0, y0) * (1.0 - sx) * (1.0 - sy)
+                    + l(x0 + 1, y0) * sx * (1.0 - sy)
+                    + l(x0, y0 + 1) * (1.0 - sx) * sy
+                    + l(x0 + 1, y0 + 1) * sx * sy;
+                acc[y * width + x] += v * amplitude;
+            }
+        }
+        total_amp += amplitude;
+        amplitude *= 0.55;
+    }
+    GrayImage::from_fn(width, height, |x, y| {
+        (acc[y * width + x] / total_amp * 255.0).round().clamp(0.0, 255.0) as u8
+    })
+}
+
+/// A linear gradient with a seeded direction and offset.
+pub fn gradient(width: usize, height: usize, seed: u64) -> GrayImage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let angle: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+    let (dx, dy) = (angle.cos(), angle.sin());
+    let norm = (width as f64 * dx.abs() + height as f64 * dy.abs()).max(1.0);
+    GrayImage::from_fn(width, height, |x, y| {
+        let t = (x as f64 * dx + y as f64 * dy) / norm;
+        ((t * 0.5 + 0.5) * 255.0).round().clamp(0.0, 255.0) as u8
+    })
+}
+
+/// Soft Gaussian blobs on a dark background (cell/microscopy-like).
+pub fn blobs(width: usize, height: usize, seed: u64, count: usize) -> GrayImage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<(f64, f64, f64, f64)> = (0..count)
+        .map(|_| {
+            (
+                rng.gen::<f64>() * width as f64,
+                rng.gen::<f64>() * height as f64,
+                8.0 + rng.gen::<f64>() * 30.0,
+                0.4 + rng.gen::<f64>() * 0.6,
+            )
+        })
+        .collect();
+    GrayImage::from_fn(width, height, |x, y| {
+        let mut v = 0.08f64;
+        for &(cx, cy, r, a) in &centers {
+            let d2 = (x as f64 - cx).powi(2) + (y as f64 - cy).powi(2);
+            v += a * (-d2 / (2.0 * r * r)).exp();
+        }
+        (v.min(1.0) * 255.0).round() as u8
+    })
+}
+
+/// Piecewise-constant regions with sharp edges (cartoon/segmentation-like),
+/// built from seeded half-plane cuts. Exercises edge detectors.
+pub fn polygons(width: usize, height: usize, seed: u64, cuts: usize) -> GrayImage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let planes: Vec<(f64, f64, f64, u8)> = (0..cuts)
+        .map(|_| {
+            let angle: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+            (
+                angle.cos(),
+                angle.sin(),
+                rng.gen::<f64>() * (width + height) as f64 - height as f64,
+                rng.gen::<u8>(),
+            )
+        })
+        .collect();
+    GrayImage::from_fn(width, height, |x, y| {
+        let mut v = 128u32;
+        for &(a, b, c, delta) in &planes {
+            if a * x as f64 + b * y as f64 > c {
+                v = (v + delta as u32) % 256;
+            }
+        }
+        v as u8
+    })
+}
+
+/// A blend of smooth texture and edges — the closest proxy to a natural
+/// photograph in the suite.
+pub fn natural_proxy(width: usize, height: usize, seed: u64) -> GrayImage {
+    let noise = value_noise(width, height, seed, 4);
+    let poly = polygons(width, height, seed ^ 0xABCD, 5);
+    let grad = gradient(width, height, seed ^ 0x1234);
+    GrayImage::from_fn(width, height, |x, y| {
+        let n = noise.get(x, y) as f64;
+        let p = poly.get(x, y) as f64;
+        let g = grad.get(x, y) as f64;
+        (0.55 * n + 0.3 * p + 0.15 * g).round().clamp(0.0, 255.0) as u8
+    })
+}
+
+/// Generates the benchmark suite: `n` deterministic images of the given
+/// size, cycling through the generator kinds so every suite contains
+/// smooth, edged and textured content.
+///
+/// The paper uses 24 images of 384×256 for Sobel/fixed-GF QoR and 4 for the
+/// generic GF.
+pub fn benchmark_suite(n: usize, width: usize, height: usize, seed: u64) -> Vec<GrayImage> {
+    (0..n)
+        .map(|i| {
+            let s = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64 * 0x1000_0001);
+            match i % 4 {
+                0 => natural_proxy(width, height, s),
+                1 => value_noise(width, height, s, 5),
+                2 => blobs(width, height, s, 14),
+                _ => polygons(width, height, s, 7),
+            }
+        })
+        .collect()
+}
+
+/// The paper's image geometry: 384×256 pixels.
+pub const PAPER_WIDTH: usize = 384;
+/// The paper's image geometry: 384×256 pixels.
+pub const PAPER_HEIGHT: usize = 256;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = benchmark_suite(4, 64, 48, 11);
+        let b = benchmark_suite(4, 64, 48, 11);
+        assert_eq!(a, b);
+        let c = benchmark_suite(4, 64, 48, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn images_have_dynamic_range() {
+        for img in benchmark_suite(4, 96, 64, 3) {
+            let min = *img.data().iter().min().unwrap();
+            let max = *img.data().iter().max().unwrap();
+            assert!(max - min > 60, "image too flat: {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn neighbours_are_correlated() {
+        // The property Fig. 3 depends on: horizontal neighbours are close
+        // in value far more often than random pixel pairs would be.
+        for img in benchmark_suite(4, 128, 96, 5) {
+            let mut close = 0usize;
+            let mut total = 0usize;
+            for y in 0..img.height() {
+                for x in 1..img.width() {
+                    let d = (img.get(x, y) as i32 - img.get(x - 1, y) as i32).abs();
+                    if d <= 16 {
+                        close += 1;
+                    }
+                    total += 1;
+                }
+            }
+            let frac = close as f64 / total as f64;
+            assert!(frac > 0.7, "neighbour correlation too weak: {frac}");
+        }
+    }
+
+    #[test]
+    fn polygons_have_edges() {
+        let img = polygons(128, 96, 17, 6);
+        let mut strong_edges = 0;
+        for y in 0..img.height() {
+            for x in 1..img.width() {
+                if (img.get(x, y) as i32 - img.get(x - 1, y) as i32).abs() > 60 {
+                    strong_edges += 1;
+                }
+            }
+        }
+        assert!(strong_edges > 50, "expected sharp edges, got {strong_edges}");
+    }
+
+    #[test]
+    fn value_noise_is_smooth() {
+        let img = value_noise(128, 96, 23, 3);
+        let mut max_step = 0i32;
+        for y in 0..img.height() {
+            for x in 1..img.width() {
+                max_step = max_step.max((img.get(x, y) as i32 - img.get(x - 1, y) as i32).abs());
+            }
+        }
+        assert!(max_step < 120, "noise has implausible jumps: {max_step}");
+    }
+}

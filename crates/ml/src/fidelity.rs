@@ -1,0 +1,131 @@
+//! The fidelity metric (paper Section 2.3).
+//!
+//! > "The fidelity tells us how often the estimated values are in the same
+//! > relation (<, = or >) as the real values for each pair of
+//! > configurations."
+//!
+//! Fidelity is the methodology's model-quality criterion because the design
+//! space exploration only ever *compares* configurations — absolute
+//! accuracy is unnecessary, and fidelity is invariant under strictly
+//! monotone transforms of the predictions.
+
+/// Three-way ordering with a tie tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Relation {
+    Less,
+    Equal,
+    Greater,
+}
+
+#[inline]
+fn relation(a: f64, b: f64, eps: f64) -> Relation {
+    let d = a - b;
+    if d.abs() <= eps {
+        Relation::Equal
+    } else if d < 0.0 {
+        Relation::Less
+    } else {
+        Relation::Greater
+    }
+}
+
+/// Fraction of pairs `(i, j)`, `i < j`, for which `estimated` orders the
+/// pair the same way as `real` (with tie tolerance `eps` on both sides).
+///
+/// Returns 1.0 for fewer than two samples (there is nothing to disagree
+/// about).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn fidelity_with_eps(estimated: &[f64], real: &[f64], eps: f64) -> f64 {
+    assert_eq!(estimated.len(), real.len(), "fidelity input length mismatch");
+    let n = estimated.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0u64;
+    let mut total = 0u64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let re = relation(estimated[i], estimated[j], eps);
+            let rr = relation(real[i], real[j], eps);
+            if re == rr {
+                agree += 1;
+            }
+            total += 1;
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// [`fidelity_with_eps`] with a tie tolerance of `1e-9` times the spread of
+/// the real values — a practical default that treats floating-point noise
+/// as equality without collapsing genuinely distinct values.
+pub fn fidelity(estimated: &[f64], real: &[f64]) -> f64 {
+    let spread = real
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let eps = ((spread.1 - spread.0).abs()) * 1e-9;
+    fidelity_with_eps(estimated, real, eps.max(1e-15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_model_scores_one() {
+        let real = [1.0, 3.0, 2.0, 5.0];
+        assert_eq!(fidelity(&real, &real), 1.0);
+    }
+
+    #[test]
+    fn monotone_transform_preserves_fidelity() {
+        let real = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let est: Vec<f64> = real.iter().map(|v| v * 100.0 - 7.0).collect();
+        assert_eq!(fidelity(&est, &real), 1.0);
+        let est_log: Vec<f64> = real.iter().map(|v| v.ln()).collect();
+        assert_eq!(fidelity(&est_log, &real), 1.0);
+    }
+
+    #[test]
+    fn inverted_model_scores_zero() {
+        let real = [1.0, 2.0, 3.0, 4.0];
+        let est = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(fidelity(&est, &real), 0.0);
+    }
+
+    #[test]
+    fn constant_predictions_score_by_tie_mismatch() {
+        // All predictions equal, all real values distinct: every pair is
+        // Equal vs Less/Greater -> fidelity 0.
+        let real = [1.0, 2.0, 3.0];
+        let est = [5.0, 5.0, 5.0];
+        assert_eq!(fidelity(&est, &real), 0.0);
+    }
+
+    #[test]
+    fn half_right_model() {
+        // est orders (a,b) correctly, (c,d) incorrectly, cross pairs mixed.
+        let real = [0.0, 1.0, 2.0, 3.0];
+        let est = [0.0, 1.0, 3.0, 2.0];
+        // pairs: (0,1)+ (0,2)+ (0,3)+ (1,2)+ (1,3)+ (2,3)-  => 5/6
+        assert!((fidelity(&est, &real) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_tolerance_counts_near_equal_as_equal() {
+        let real = [1.0, 1.0, 2.0];
+        let est = [5.0, 5.0 + 1e-12, 9.0];
+        // (0,1): both Equal -> agree; others ordered correctly.
+        assert_eq!(fidelity_with_eps(&est, &real, 1e-9), 1.0);
+    }
+
+    #[test]
+    fn short_inputs_are_trivially_perfect() {
+        assert_eq!(fidelity(&[1.0], &[2.0]), 1.0);
+        assert_eq!(fidelity(&[], &[]), 1.0);
+    }
+}

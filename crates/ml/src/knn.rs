@@ -1,0 +1,119 @@
+//! k-nearest-neighbours regression (standardized features, uniform
+//! weights, brute force).
+
+use crate::dataset::Standardizer;
+use crate::engine::{Regressor, TrainError};
+use crate::linalg::{sq_dist, Matrix};
+
+/// k-NN regressor.
+#[derive(Debug, Clone)]
+pub struct KNeighbors {
+    /// Number of neighbours (scikit-learn default: 5).
+    pub k: usize,
+    scaler: Option<Standardizer>,
+    x: Option<Matrix>,
+    y: Vec<f64>,
+}
+
+impl KNeighbors {
+    /// A 5-neighbour regressor.
+    pub fn new() -> Self {
+        KNeighbors {
+            k: 5,
+            scaler: None,
+            x: None,
+            y: Vec::new(),
+        }
+    }
+}
+
+impl Default for KNeighbors {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Regressor for KNeighbors {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), TrainError> {
+        if x.nrows() == 0 || x.nrows() != y.len() {
+            return Err(TrainError::new("invalid training set"));
+        }
+        let scaler = Standardizer::fit(x);
+        self.x = Some(scaler.transform(x));
+        self.scaler = Some(scaler);
+        self.y = y.to_vec();
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let (Some(x), Some(scaler)) = (&self.x, &self.scaler) else {
+            return 0.0;
+        };
+        let q = scaler.transform_row(row);
+        let k = self.k.min(x.nrows());
+        // Partial selection of the k smallest distances.
+        let mut best: Vec<(f64, f64)> = Vec::with_capacity(k + 1); // (dist, y)
+        for (i, r) in x.rows_iter().enumerate() {
+            let d = sq_dist(&q, r);
+            if best.len() < k || d < best.last().unwrap().0 {
+                let pos = best.partition_point(|&(bd, _)| bd < d);
+                best.insert(pos, (d, self.y[i]));
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        }
+        best.iter().map(|&(_, v)| v).sum::<f64>() / best.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_neighbour_dominates_with_k1() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let y = [10.0, 20.0, 30.0];
+        let mut m = KNeighbors::new();
+        m.k = 1;
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict_row(&[1.01]), 20.0);
+    }
+
+    #[test]
+    fn averages_k_neighbours() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0]]);
+        let y = [2.0, 4.0, 100.0];
+        let mut m = KNeighbors::new();
+        m.k = 2;
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict_row(&[0.5]), 3.0);
+    }
+
+    #[test]
+    fn standardization_makes_features_comparable() {
+        // Feature 1 has a huge scale but is irrelevant; feature 0 decides y.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 2) as f64, (i as f64) * 1000.0])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 10.0).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut m = KNeighbors::new();
+        m.fit(&x, &y).unwrap();
+        // Without scaling the nearest neighbours would be dominated by
+        // feature 1; with scaling the prediction tracks feature 0.
+        let p = m.predict_row(&[1.0, 20000.0]);
+        assert!(p > 5.0, "prediction {p} ignores the relevant feature");
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_safe() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let y = [1.0, 3.0];
+        let mut m = KNeighbors::new();
+        m.k = 10;
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict_row(&[0.5]), 2.0);
+    }
+}

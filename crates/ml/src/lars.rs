@@ -1,0 +1,192 @@
+//! Least-angle regression (Efron et al. 2004) — the "Least-angle" row of
+//! Table 3.
+
+use crate::dataset::{Standardizer, TargetScaler};
+use crate::engine::{Regressor, TrainError};
+use crate::linalg::{dot, solve_spd, Matrix};
+
+/// LARS regressor (no lasso modification).
+#[derive(Debug, Clone)]
+pub struct LeastAngle {
+    /// Maximum number of active features (scikit-learn default: 500,
+    /// effectively all).
+    pub max_features: usize,
+    scaler: Option<Standardizer>,
+    yscale: Option<TargetScaler>,
+    weights: Vec<f64>,
+}
+
+impl LeastAngle {
+    /// LARS that may activate every feature.
+    pub fn new() -> Self {
+        LeastAngle {
+            max_features: usize::MAX,
+            scaler: None,
+            yscale: None,
+            weights: Vec::new(),
+        }
+    }
+}
+
+impl Default for LeastAngle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Regressor for LeastAngle {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), TrainError> {
+        let n = x.nrows();
+        if n == 0 || n != y.len() {
+            return Err(TrainError::new("invalid training set"));
+        }
+        let scaler = Standardizer::fit(x);
+        let xs = scaler.transform(x);
+        let ys = TargetScaler::fit(y);
+        let yt: Vec<f64> = y.iter().map(|&v| ys.scale(v)).collect();
+        let d = xs.ncols();
+        let max_steps = self.max_features.min(d).min(n.saturating_sub(1)).max(1);
+
+        let mut w = vec![0.0; d];
+        let mut residual = yt.clone();
+        let mut active: Vec<usize> = Vec::new();
+        let mut signs: Vec<f64> = Vec::new();
+
+        for _ in 0..max_steps {
+            // correlations with the residual
+            let corr = xs.t_matvec(&residual);
+            // most correlated inactive feature
+            let mut best: Option<(usize, f64)> = None;
+            for (j, &c) in corr.iter().enumerate() {
+                if active.contains(&j) {
+                    continue;
+                }
+                if best.map_or(true, |(_, b)| c.abs() > b.abs()) {
+                    best = Some((j, c));
+                }
+            }
+            let Some((j_new, c_new)) = best else { break };
+            let c_max = c_new.abs();
+            if c_max < 1e-10 {
+                break;
+            }
+            active.push(j_new);
+            signs.push(c_new.signum());
+
+            // equiangular direction: solve G_A w_A = s_A
+            let k = active.len();
+            let mut ga = Matrix::zeros(k, k);
+            for (ai, &fa) in active.iter().enumerate() {
+                for (bi, &fb) in active.iter().enumerate() {
+                    let g = dot(&xs.col(fa), &xs.col(fb));
+                    ga.set(ai, bi, g * signs[ai] * signs[bi]);
+                }
+            }
+            let ones = vec![1.0; k];
+            let Some(wa) = solve_spd(&ga, &ones) else {
+                break; // collinear active set; stop the path
+            };
+            let norm = (dot(&wa, &ones)).max(1e-12).sqrt().recip();
+            // direction in feature space: u = sum_a s_a * wa_a * A * x_a
+            let dir_coeffs: Vec<f64> = wa.iter().map(|v| v * norm).collect();
+            // equiangular predictor u (length n)
+            let mut u = vec![0.0; n];
+            for (ai, &fa) in active.iter().enumerate() {
+                let col = xs.col(fa);
+                for (ui, &xv) in u.iter_mut().zip(col.iter()) {
+                    *ui += signs[ai] * dir_coeffs[ai] * xv;
+                }
+            }
+            // a_j = x_j . u for all features
+            let a_all = xs.t_matvec(&u);
+            let a_a = dot(&xs.col(active[0]), &u) * signs[0]; // common value
+
+            // step length: smallest positive gamma where an inactive
+            // feature ties the active correlation
+            let mut gamma = c_max / a_a.max(1e-12); // full step (OLS on active set)
+            for (j, (&c, &a)) in corr.iter().zip(a_all.iter()).enumerate() {
+                if active.contains(&j) {
+                    continue;
+                }
+                for cand in [
+                    (c_max - c) / (a_a - a),
+                    (c_max + c) / (a_a + a),
+                ] {
+                    if cand > 1e-12 && cand < gamma {
+                        gamma = cand;
+                    }
+                }
+            }
+            // update coefficients and residual
+            for (ai, &fa) in active.iter().enumerate() {
+                w[fa] += gamma * signs[ai] * dir_coeffs[ai];
+            }
+            for (r, &uv) in residual.iter_mut().zip(u.iter()) {
+                *r -= gamma * uv;
+            }
+        }
+
+        self.weights = w;
+        self.scaler = Some(scaler);
+        self.yscale = Some(ys);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let (Some(s), Some(ys)) = (&self.scaler, &self.yscale) else {
+            return 0.0;
+        };
+        ys.unscale(dot(&s.transform_row(row), &self.weights))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_linear_function() {
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64, ((i / 10) % 10) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 5.0 * r[1] - 3.0).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut m = LeastAngle::new();
+        m.fit(&x, &y).unwrap();
+        for (row, &t) in x.rows_iter().zip(y.iter()).take(15) {
+            assert!(
+                (m.predict_row(row) - t).abs() < 0.5,
+                "pred {} vs {}",
+                m.predict_row(row),
+                t
+            );
+        }
+    }
+
+    #[test]
+    fn max_features_limits_the_path() {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 6) as f64, ((i / 6) % 10) as f64, ((i * 3) % 7) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 10.0 * r[1] + 0.1 * r[2]).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut m = LeastAngle::new();
+        m.max_features = 1;
+        m.fit(&x, &y).unwrap();
+        // With one step the dominant feature is partially fit; prediction
+        // correlates with y but is not exact.
+        let preds: Vec<f64> = x.rows_iter().map(|r| m.predict_row(r)).collect();
+        let f = crate::fidelity::fidelity(&preds, &y);
+        assert!(f > 0.7, "one-step LARS fidelity too low: {f}");
+    }
+
+    #[test]
+    fn handles_constant_target() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y = vec![5.0; 30];
+        let x = Matrix::from_rows(&rows);
+        let mut m = LeastAngle::new();
+        m.fit(&x, &y).unwrap();
+        assert!((m.predict_row(&[12.0]) - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,56 @@
+//! # autoax-ml
+//!
+//! From-scratch supervised learning engines for the autoAx (DAC 2019)
+//! reproduction — a minimal stand-in for the scikit-learn regressors the
+//! paper compares in Table 3.
+//!
+//! All fourteen engines of the paper are implemented:
+//! random forest, decision tree (CART), k-nearest neighbours, Bayesian
+//! ridge, partial least squares, lasso, AdaBoost.R2, least-angle
+//! regression, gradient boosting, an MLP, Gaussian-process regression,
+//! kernel ridge and an SGD linear model — plus fixed-weight linear
+//! predictors used for the paper's naïve models.
+//!
+//! The quality criterion of the methodology is **fidelity**
+//! ([`fidelity::fidelity`]): how often two configurations are ranked in the
+//! same order by the model as by reality. Fidelity is invariant under
+//! monotone transforms, which is why the naïve models need no calibration.
+//!
+//! # Example
+//!
+//! ```
+//! use autoax_ml::engine::{EngineKind, Regressor};
+//! use autoax_ml::linalg::Matrix;
+//!
+//! // y = 2*x0 + x1, learned by a random forest
+//! let x = Matrix::from_rows(&(0..100).map(|i| {
+//!     vec![(i % 10) as f64, (i / 10) as f64]
+//! }).collect::<Vec<_>>());
+//! let y: Vec<f64> = (0..100).map(|i| 2.0 * (i % 10) as f64 + (i / 10) as f64).collect();
+//! let mut model = EngineKind::RandomForest.make(42);
+//! model.fit(&x, &y)?;
+//! let pred = model.predict_row(&[3.0, 4.0]);
+//! assert!((pred - 10.0).abs() < 2.0);
+//! # Ok::<(), autoax_ml::engine::TrainError>(())
+//! ```
+
+pub mod adaboost;
+pub mod dataset;
+pub mod engine;
+pub mod fidelity;
+pub mod forest;
+pub mod gbt;
+pub mod gp;
+pub mod kernel_ridge;
+pub mod knn;
+pub mod lars;
+pub mod lasso;
+pub mod linalg;
+pub mod linear;
+pub mod mlp;
+pub mod pls;
+pub mod tree;
+
+pub use engine::{EngineKind, Regressor, TrainError};
+pub use fidelity::fidelity;
+pub use linalg::Matrix;

@@ -1,0 +1,318 @@
+//! Linear models: ridge regression (closed form), Bayesian ridge
+//! (evidence maximization), an SGD linear regressor, and fixed-weight
+//! linear predictors for the paper's naïve models.
+
+use crate::dataset::{Standardizer, TargetScaler};
+use crate::engine::{Regressor, TrainError};
+use crate::linalg::{dot, solve_spd, Matrix};
+
+/// Ridge regression on standardized features.
+#[derive(Debug, Clone)]
+pub struct Ridge {
+    /// L2 penalty.
+    pub alpha: f64,
+    scaler: Option<Standardizer>,
+    yscale: Option<TargetScaler>,
+    weights: Vec<f64>,
+}
+
+impl Ridge {
+    /// Ridge with penalty `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        Ridge {
+            alpha,
+            scaler: None,
+            yscale: None,
+            weights: Vec::new(),
+        }
+    }
+}
+
+fn fit_l2(x: &Matrix, y: &[f64], alpha: f64) -> Result<Vec<f64>, TrainError> {
+    let mut gram = x.gram();
+    for i in 0..gram.nrows() {
+        gram.set(i, i, gram.get(i, i) + alpha);
+    }
+    let xty = x.t_matvec(y);
+    solve_spd(&gram, &xty).ok_or_else(|| TrainError::new("singular normal equations"))
+}
+
+impl Regressor for Ridge {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), TrainError> {
+        if x.nrows() == 0 || x.nrows() != y.len() {
+            return Err(TrainError::new("invalid training set"));
+        }
+        let scaler = Standardizer::fit(x);
+        let xs = scaler.transform(x);
+        let ys = TargetScaler::fit(y);
+        let yt: Vec<f64> = y.iter().map(|&v| ys.scale(v)).collect();
+        self.weights = fit_l2(&xs, &yt, self.alpha)?;
+        self.scaler = Some(scaler);
+        self.yscale = Some(ys);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let (Some(s), Some(ys)) = (&self.scaler, &self.yscale) else {
+            return 0.0;
+        };
+        ys.unscale(dot(&s.transform_row(row), &self.weights))
+    }
+}
+
+/// Bayesian ridge regression: the L2 penalty is learned by evidence
+/// maximization (MacKay updates) instead of being fixed.
+#[derive(Debug, Clone)]
+pub struct BayesianRidge {
+    /// Maximum evidence-maximization iterations.
+    pub max_iter: usize,
+    scaler: Option<Standardizer>,
+    yscale: Option<TargetScaler>,
+    weights: Vec<f64>,
+}
+
+impl BayesianRidge {
+    /// Defaults matching scikit-learn (300 iterations).
+    pub fn new() -> Self {
+        BayesianRidge {
+            max_iter: 300,
+            scaler: None,
+            yscale: None,
+            weights: Vec::new(),
+        }
+    }
+}
+
+impl Default for BayesianRidge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Regressor for BayesianRidge {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), TrainError> {
+        if x.nrows() == 0 || x.nrows() != y.len() {
+            return Err(TrainError::new("invalid training set"));
+        }
+        let scaler = Standardizer::fit(x);
+        let xs = scaler.transform(x);
+        let ys = TargetScaler::fit(y);
+        let yt: Vec<f64> = y.iter().map(|&v| ys.scale(v)).collect();
+        let n = xs.nrows() as f64;
+        let d = xs.ncols();
+        let gram = xs.gram();
+        let xty = xs.t_matvec(&yt);
+        let mut alpha = 1.0; // precision of the weight prior
+        let mut beta = 1.0; // precision of the noise
+        let mut w = vec![0.0; d];
+        for _ in 0..self.max_iter {
+            // posterior mean: (beta * G + alpha I) w = beta * X^T y
+            let mut a = gram.clone();
+            for i in 0..d {
+                for j in 0..d {
+                    a.set(i, j, beta * gram.get(i, j) + if i == j { alpha } else { 0.0 });
+                }
+            }
+            let rhs: Vec<f64> = xty.iter().map(|&v| beta * v).collect();
+            let new_w =
+                solve_spd(&a, &rhs).ok_or_else(|| TrainError::new("singular posterior"))?;
+            // effective number of parameters (gamma) via trace approximation
+            let w_norm2: f64 = new_w.iter().map(|v| v * v).sum();
+            let preds = xs.matvec(&new_w);
+            let sse: f64 = preds
+                .iter()
+                .zip(yt.iter())
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum();
+            let gamma = d as f64 - alpha * trace_inv_approx(&a, d);
+            let new_alpha = (gamma.max(1e-6)) / w_norm2.max(1e-12);
+            let new_beta = (n - gamma).max(1e-6) / sse.max(1e-12);
+            let converged = new_w
+                .iter()
+                .zip(w.iter())
+                .all(|(a, b)| (a - b).abs() < 1e-8);
+            w = new_w;
+            alpha = new_alpha.clamp(1e-10, 1e10);
+            beta = new_beta.clamp(1e-10, 1e10);
+            if converged {
+                break;
+            }
+        }
+        self.weights = w;
+        self.scaler = Some(scaler);
+        self.yscale = Some(ys);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let (Some(s), Some(ys)) = (&self.scaler, &self.yscale) else {
+            return 0.0;
+        };
+        ys.unscale(dot(&s.transform_row(row), &self.weights))
+    }
+}
+
+/// Approximates `trace(A^{-1})` by solving `A e_i = x_i` for each basis
+/// vector (exact, O(d) solves — fine for the small `d` of this crate).
+fn trace_inv_approx(a: &Matrix, d: usize) -> f64 {
+    let mut tr = 0.0;
+    for i in 0..d {
+        let mut e = vec![0.0; d];
+        e[i] = 1.0;
+        if let Some(col) = solve_spd(a, &e) {
+            tr += col[i];
+        }
+    }
+    tr
+}
+
+/// Plain SGD linear regression on *unscaled* features.
+///
+/// Deliberately reproduces the failure mode the paper observed for
+/// "Stochastic Gradient Descent" (24–25 % fidelity): without feature
+/// standardization the condition number of the problem makes constant-rate
+/// SGD oscillate or crawl. Gradients are clipped so the weights stay
+/// finite. Use [`Ridge`] if you actually want a good linear model.
+#[derive(Debug, Clone)]
+pub struct SgdLinear {
+    /// Constant learning rate.
+    pub learning_rate: f64,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Seed for sample ordering.
+    pub seed: u64,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl SgdLinear {
+    /// Defaults chosen to mirror an unscaled scikit-learn `SGDRegressor`.
+    pub fn new(seed: u64) -> Self {
+        SgdLinear {
+            learning_rate: 1e-4,
+            epochs: 100,
+            seed,
+            weights: Vec::new(),
+            bias: 0.0,
+        }
+    }
+}
+
+impl Regressor for SgdLinear {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), TrainError> {
+        if x.nrows() == 0 || x.nrows() != y.len() {
+            return Err(TrainError::new("invalid training set"));
+        }
+        let d = x.ncols();
+        self.weights = vec![0.0; d];
+        self.bias = 0.0;
+        let order = crate::dataset::shuffled_indices(x.nrows(), self.seed);
+        for _ in 0..self.epochs {
+            for &i in &order {
+                let row = x.row(i);
+                let pred = dot(row, &self.weights) + self.bias;
+                let err = (pred - y[i]).clamp(-1e6, 1e6);
+                for (w, &xi) in self.weights.iter_mut().zip(row.iter()) {
+                    *w -= self.learning_rate * (err * xi).clamp(-1e3, 1e3);
+                }
+                self.bias -= self.learning_rate * err.clamp(-1e3, 1e3);
+            }
+        }
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        dot(row, &self.weights) + self.bias
+    }
+}
+
+/// A fixed linear predictor `w · x` used for the paper's naïve models
+/// (sum of areas, negated sum of WMEDs). It never fits anything; fidelity
+/// is invariant to affine calibration, so none is needed.
+#[derive(Debug, Clone)]
+pub struct LinearFixed {
+    weights: Vec<f64>,
+}
+
+impl LinearFixed {
+    /// A predictor with the given fixed weights.
+    pub fn new(weights: Vec<f64>) -> Self {
+        LinearFixed { weights }
+    }
+}
+
+impl Regressor for LinearFixed {
+    fn fit(&mut self, _x: &Matrix, _y: &[f64]) -> Result<(), TrainError> {
+        Ok(()) // nothing to learn
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "feature width mismatch");
+        dot(row, &self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data() -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|i| vec![(i % 10) as f64, ((i / 10) % 12) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 7.0).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn ridge_recovers_linear_function() {
+        let (x, y) = linear_data();
+        let mut m = Ridge::new(1e-6);
+        m.fit(&x, &y).unwrap();
+        for (row, &target) in x.rows_iter().zip(y.iter()).take(10) {
+            assert!((m.predict_row(row) - target).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_with_large_alpha() {
+        let (x, y) = linear_data();
+        let mut weak = Ridge::new(1e6);
+        weak.fit(&x, &y).unwrap();
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        // Heavy regularization pushes predictions toward the mean.
+        assert!((weak.predict_row(x.row(0)) - mean).abs() < 3.0);
+    }
+
+    #[test]
+    fn bayesian_ridge_close_to_ridge_on_clean_data() {
+        let (x, y) = linear_data();
+        let mut br = BayesianRidge::new();
+        br.fit(&x, &y).unwrap();
+        for (row, &target) in x.rows_iter().zip(y.iter()).take(10) {
+            assert!(
+                (br.predict_row(row) - target).abs() < 0.1,
+                "pred {} vs {}",
+                br.predict_row(row),
+                target
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_is_finite_but_mediocre() {
+        let (x, y) = linear_data();
+        let mut m = SgdLinear::new(1);
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_row(x.row(0));
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn linear_fixed_is_exact_dot_product() {
+        let mut m = LinearFixed::new(vec![1.0, 0.0, 2.0]);
+        m.fit(&Matrix::from_rows(&[vec![0.0, 0.0, 0.0]]), &[0.0])
+            .unwrap();
+        assert_eq!(m.predict_row(&[3.0, 99.0, 4.0]), 11.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Partial least squares regression (NIPALS, single response).
+
+use crate::dataset::{Standardizer, TargetScaler};
+use crate::engine::{Regressor, TrainError};
+use crate::linalg::{dot, Matrix};
+
+/// PLS regressor with `n_components` latent directions.
+#[derive(Debug, Clone)]
+pub struct PartialLeastSquares {
+    /// Number of latent components (scikit-learn default: 2).
+    pub n_components: usize,
+    scaler: Option<Standardizer>,
+    yscale: Option<TargetScaler>,
+    weights: Vec<f64>, // final regression vector in standardized space
+}
+
+impl PartialLeastSquares {
+    /// PLS with 2 components.
+    pub fn new() -> Self {
+        PartialLeastSquares {
+            n_components: 2,
+            scaler: None,
+            yscale: None,
+            weights: Vec::new(),
+        }
+    }
+}
+
+impl Default for PartialLeastSquares {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Regressor for PartialLeastSquares {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), TrainError> {
+        let n = x.nrows();
+        if n == 0 || n != y.len() {
+            return Err(TrainError::new("invalid training set"));
+        }
+        let scaler = Standardizer::fit(x);
+        let xs = scaler.transform(x);
+        let ys = TargetScaler::fit(y);
+        let mut yv: Vec<f64> = y.iter().map(|&v| ys.scale(v)).collect();
+        let d = xs.ncols();
+        // Deflation copies.
+        let mut xd: Vec<Vec<f64>> = xs.rows_iter().map(|r| r.to_vec()).collect();
+        // Accumulated prediction weights expressed on the original
+        // (standardized) features: w_total.
+        let mut w_total = vec![0.0; d];
+        for _ in 0..self.n_components.min(d) {
+            // weight vector: w = X^T y (single-response NIPALS shortcut)
+            let mut w = vec![0.0; d];
+            for (row, &yi) in xd.iter().zip(yv.iter()) {
+                for (wj, &xj) in w.iter_mut().zip(row.iter()) {
+                    *wj += xj * yi;
+                }
+            }
+            let norm = dot(&w, &w).sqrt();
+            if norm < 1e-12 {
+                break;
+            }
+            for wj in w.iter_mut() {
+                *wj /= norm;
+            }
+            // scores t = X w
+            let t: Vec<f64> = xd.iter().map(|r| dot(r, &w)).collect();
+            let tt = dot(&t, &t).max(1e-12);
+            // x loading p = X^T t / (t.t), y loading q = y.t / (t.t)
+            let mut p = vec![0.0; d];
+            for (row, &ti) in xd.iter().zip(t.iter()) {
+                for (pj, &xj) in p.iter_mut().zip(row.iter()) {
+                    *pj += xj * ti;
+                }
+            }
+            for pj in p.iter_mut() {
+                *pj /= tt;
+            }
+            let q = dot(&yv, &t) / tt;
+            // deflate
+            for (row, &ti) in xd.iter_mut().zip(t.iter()) {
+                for (xj, &pj) in row.iter_mut().zip(p.iter()) {
+                    *xj -= ti * pj;
+                }
+            }
+            for (yi, &ti) in yv.iter_mut().zip(t.iter()) {
+                *yi -= q * ti;
+            }
+            // contribution of this component to the regression vector:
+            // approximately w * q (ignoring the loading cross-terms, which
+            // is the standard simple-PLS reconstruction for few components)
+            for (wt, &wj) in w_total.iter_mut().zip(w.iter()) {
+                *wt += wj * q;
+            }
+        }
+        self.weights = w_total;
+        self.scaler = Some(scaler);
+        self.yscale = Some(ys);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let (Some(s), Some(ys)) = (&self.scaler, &self.yscale) else {
+            return 0.0;
+        };
+        ys.unscale(dot(&s.transform_row(row), &self.weights))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::fidelity;
+
+    #[test]
+    fn captures_dominant_linear_direction() {
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|i| vec![(i % 10) as f64, ((i / 10) % 12) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 5.0 * r[0] + 1.0 * r[1]).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut m = PartialLeastSquares::new();
+        m.fit(&x, &y).unwrap();
+        let preds: Vec<f64> = x.rows_iter().map(|r| m.predict_row(r)).collect();
+        let f = fidelity(&preds, &y);
+        assert!(f > 0.9, "PLS fidelity {f}");
+    }
+
+    #[test]
+    fn more_components_do_not_hurt_fit() {
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 7) as f64, ((i / 7) % 9) as f64, ((i * 3) % 5) as f64])
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| 2.0 * r[0] - 4.0 * r[1] + 0.5 * r[2])
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let mse_with = |k: usize| {
+            let mut m = PartialLeastSquares::new();
+            m.n_components = k;
+            m.fit(&x, &y).unwrap();
+            x.rows_iter()
+                .zip(y.iter())
+                .map(|(r, &t)| (m.predict_row(r) - t).powi(2))
+                .sum::<f64>()
+        };
+        assert!(mse_with(3) <= mse_with(1) + 1e-9);
+    }
+
+    #[test]
+    fn constant_target_is_safe() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let y = [4.0, 4.0, 4.0];
+        let mut m = PartialLeastSquares::new();
+        m.fit(&x, &y).unwrap();
+        assert!((m.predict_row(&[2.5]) - 4.0).abs() < 1e-9);
+    }
+}

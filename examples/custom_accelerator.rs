@@ -1,0 +1,91 @@
+//! Bringing your own accelerator to the methodology: implement the
+//! [`Accelerator`] trait (software kernel + hardware netlist over named
+//! operation slots) and the whole pipeline — profiling, WMED scoring,
+//! model training, Algorithm 1 — works unchanged.
+//!
+//! The example builds a 4-pixel box smoother:
+//! `out = (center + right + below + below-right) / 4`
+//! with three replaceable adders (2× add8, 1× add9).
+//!
+//! ```sh
+//! cargo run --release --example custom_accelerator
+//! ```
+
+use autoax::pipeline::{run_pipeline, PipelineOptions};
+use autoax_accel::accelerator::{Accelerator, OpObserver, OpSet, OpSlot};
+use autoax_circuit::charlib::{build_library, LibraryConfig};
+use autoax_circuit::netlist::{Bus, Netlist};
+use autoax_circuit::OpSignature;
+use autoax_image::synthetic::benchmark_suite;
+
+/// A 2×2 box smoother with approximable adders.
+struct BoxSmoother {
+    slots: Vec<OpSlot>,
+}
+
+impl BoxSmoother {
+    fn new() -> Self {
+        BoxSmoother {
+            slots: vec![
+                OpSlot::new("row0", OpSignature::ADD8),
+                OpSlot::new("row1", OpSignature::ADD8),
+                OpSlot::new("total", OpSignature::ADD9),
+            ],
+        }
+    }
+}
+
+impl Accelerator for BoxSmoother {
+    fn name(&self) -> &str {
+        "Box smoother"
+    }
+
+    fn slots(&self) -> &[OpSlot] {
+        &self.slots
+    }
+
+    fn kernel(&self, _mode: usize, n: &[u8; 9], ops: &OpSet, obs: &mut dyn OpObserver) -> u8 {
+        // neighbourhood layout: n[4] = center, n[5] = right,
+        // n[7] = below, n[8] = below-right
+        let (c, r, b, d) = (n[4] as u64, n[5] as u64, n[7] as u64, n[8] as u64);
+        obs.record(0, c, r);
+        let s0 = ops.apply(0, c, r) & 0x1FF;
+        obs.record(1, b, d);
+        let s1 = ops.apply(1, b, d) & 0x1FF;
+        obs.record(2, s0, s1);
+        let t = ops.apply(2, s0, s1) & 0x3FF;
+        (t >> 2) as u8
+    }
+
+    fn build_netlist(&self, impls: &[Netlist]) -> Netlist {
+        assert_eq!(impls.len(), 3);
+        let mut top = Netlist::new("box_smoother");
+        let pixels: Vec<Bus> = (0..9).map(|_| top.input_bus(8)).collect();
+        let cat = |a: &Bus, b: &Bus| -> Vec<autoax_circuit::NetId> {
+            a.iter().chain(b.iter()).copied().collect()
+        };
+        let s0 = Bus(top.instantiate(&impls[0], &cat(&pixels[4], &pixels[5])));
+        let s1 = Bus(top.instantiate(&impls[1], &cat(&pixels[7], &pixels[8])));
+        let t = Bus(top.instantiate(&impls[2], &cat(&s0, &s1)));
+        // out = t >> 2, 8 bits
+        top.push_output_bus(&t.slice(2..10));
+        top
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = build_library(&LibraryConfig::tiny());
+    let images = benchmark_suite(3, 96, 64, 5);
+    let accel = BoxSmoother::new();
+    let result = run_pipeline(&accel, &lib, &images, &PipelineOptions::quick())?;
+    println!(
+        "{}: {} final Pareto configurations",
+        accel.name(),
+        result.final_front.len()
+    );
+    println!("  SSIM    area(um2)  energy(fJ)");
+    for m in &result.final_front {
+        println!("  {:.4}  {:9.1}  {:9.1}", m.ssim, m.area, m.energy);
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Quickstart: run the complete autoAx methodology on the Sobel edge
+//! detector with a small generated library.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use autoax::pipeline::{run_pipeline, PipelineOptions};
+use autoax_accel::sobel::SobelEd;
+use autoax_circuit::charlib::{build_library, LibraryConfig};
+use autoax_image::synthetic::benchmark_suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate and characterize a small approximate-component library
+    //    (the stand-in for downloading EvoApprox8b).
+    let lib = build_library(&LibraryConfig::tiny());
+    println!("library: {} characterized circuits", lib.total_size());
+
+    // 2. Benchmark images (synthetic Berkeley-dataset substitute).
+    let images = benchmark_suite(4, 96, 64, 7);
+
+    // 3. Run the three-step methodology with small budgets.
+    let accel = SobelEd::new();
+    let result = run_pipeline(&accel, &lib, &images, &PipelineOptions::quick())?;
+
+    let (full, reduced, pseudo, final_n) = result.space_sizes_log10();
+    println!("design space: 10^{full:.1} -> 10^{reduced:.1} after pre-processing");
+    println!(
+        "model fidelity (random forest): SSIM {:.0}% / area {:.0}% on held-out configs",
+        result.fidelity.qor_test * 100.0,
+        result.fidelity.hw_test * 100.0
+    );
+    println!("pseudo-Pareto set: {pseudo} configurations, final front: {final_n}");
+    println!("\n  SSIM    area(um2)  energy(fJ)");
+    for m in &result.final_front {
+        println!("  {:.4}  {:9.1}  {:9.1}", m.ssim, m.area, m.energy);
+    }
+    Ok(())
+}

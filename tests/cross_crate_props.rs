@@ -1,0 +1,173 @@
+//! Property-based tests (proptest) for the core invariants that hold
+//! across crates:
+//!
+//! * every approximate-circuit family: netlist simulation ≡ functional
+//!   model; synthesis-lite preserves the function;
+//! * compiled ops (LUT or functional) ≡ the library entry they compile;
+//! * characterization invariants (WCE ≥ MAE, WMED ≤ WCE);
+//! * Pareto front invariants under arbitrary insertion streams;
+//! * SSIM bounds and identity.
+
+use autoax::pareto::{ParetoFront, TradeoffPoint};
+use autoax_accel::accelerator::CompiledOp;
+use autoax_accel::Pmf;
+use autoax_circuit::approx::adders::AdderKind;
+use autoax_circuit::approx::muls::MulKind;
+use autoax_circuit::approx::subs::SubKind;
+use autoax_circuit::approx::Behavior;
+use autoax_circuit::charlib::{build_class, LibraryConfig};
+use autoax_circuit::sim::eval_binop;
+use autoax_circuit::synth::optimize;
+use autoax_circuit::OpSignature;
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary 8-bit adder variants.
+fn adder_kind_strategy() -> impl Strategy<Value = AdderKind> {
+    prop_oneof![
+        Just(AdderKind::Exact),
+        (1u32..8).prop_map(|k| AdderKind::TruncZero { k }),
+        (1u32..8).prop_map(|k| AdderKind::TruncPass { k }),
+        (1u32..8).prop_map(|k| AdderKind::Loa { k }),
+        (1u32..8).prop_map(|k| AdderKind::XorLower { k }),
+        (1u32..8).prop_map(|r| AdderKind::Aca { r }),
+        (1u32..4, 1u32..4).prop_map(|(r, p)| AdderKind::Gear { r, p }),
+    ]
+}
+
+/// Strategy producing arbitrary 8×8 multiplier variants.
+fn mul_kind_strategy() -> impl Strategy<Value = MulKind> {
+    prop_oneof![
+        Just(MulKind::Exact),
+        (0u32..14, 0u32..8).prop_map(|(vbl, hbl)| MulKind::Bam { vbl, hbl }),
+        (1u32..8, any::<bool>()).prop_map(|(k, comp)| MulKind::Trunc { k, comp }),
+        (0u16..256).prop_map(|row_mask| MulKind::PerfRows { row_mask }),
+        any::<u16>().prop_map(|leaf_mask| MulKind::Udm { leaf_mask }),
+    ]
+}
+
+/// Strategy producing arbitrary 10-bit subtractor variants.
+fn sub_kind_strategy() -> impl Strategy<Value = SubKind> {
+    prop_oneof![
+        Just(SubKind::Exact),
+        (1u32..10).prop_map(|k| SubKind::TruncZero { k }),
+        (1u32..10).prop_map(|k| SubKind::TruncPass { k }),
+        (1u32..10).prop_map(|k| SubKind::XorLower { k }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn adder_netlist_matches_functional(kind in adder_kind_strategy(), seed in any::<u64>()) {
+        let b = Behavior::Adder { w: 8, kind };
+        let net = b.build_netlist();
+        for (x, y) in autoax_circuit::util::stimulus_pairs(8, 8, 64, seed) {
+            prop_assert_eq!(eval_binop(&net, 8, 8, x, y), b.eval(x, y));
+        }
+    }
+
+    #[test]
+    fn multiplier_netlist_matches_functional(kind in mul_kind_strategy(), seed in any::<u64>()) {
+        let b = Behavior::Multiplier { wa: 8, wb: 8, kind };
+        let net = b.build_netlist();
+        for (x, y) in autoax_circuit::util::stimulus_pairs(8, 8, 48, seed) {
+            prop_assert_eq!(eval_binop(&net, 8, 8, x, y), b.eval(x, y));
+        }
+    }
+
+    #[test]
+    fn subtractor_netlist_matches_functional(kind in sub_kind_strategy(), seed in any::<u64>()) {
+        let b = Behavior::Subtractor { w: 10, kind };
+        let net = b.build_netlist();
+        for (x, y) in autoax_circuit::util::stimulus_pairs(10, 10, 48, seed) {
+            prop_assert_eq!(eval_binop(&net, 10, 10, x, y), b.eval(x, y));
+        }
+    }
+
+    #[test]
+    fn synthesis_preserves_approximate_circuit_function(
+        kind in mul_kind_strategy(),
+        seed in any::<u64>()
+    ) {
+        let b = Behavior::Multiplier { wa: 8, wb: 8, kind };
+        let net = b.build_netlist();
+        let opt = optimize(&net);
+        for (x, y) in autoax_circuit::util::stimulus_pairs(8, 8, 32, seed) {
+            prop_assert_eq!(eval_binop(&opt, 8, 8, x, y), b.eval(x, y));
+        }
+        // optimization never increases cell count
+        prop_assert!(opt.cell_count() <= net.cell_count());
+    }
+
+    #[test]
+    fn pareto_front_stays_minimal(points in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..80)) {
+        let mut front = ParetoFront::new();
+        for (q, c) in points {
+            front.try_insert(TradeoffPoint::new(q, c), ());
+        }
+        let pts = front.points();
+        for (i, a) in pts.iter().enumerate() {
+            for (j, b) in pts.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.dominates(b), "{:?} dominates {:?}", a, b);
+                    prop_assert!(!(a.qor == b.qor && a.cost == b.cost), "duplicate point kept");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wmed_never_exceeds_wce(support_seed in any::<u64>()) {
+        let cfg = LibraryConfig::tiny();
+        let entries = build_class(OpSignature::ADD8, 12, &cfg, 5);
+        let mut pmf = Pmf::new();
+        let mut st = support_seed;
+        for _ in 0..200 {
+            let r = autoax_circuit::util::splitmix64(&mut st);
+            pmf.add((r & 0xFF) as u32, ((r >> 8) & 0xFF) as u32);
+        }
+        let support = pmf.top_mass(1.0);
+        for e in &entries {
+            let w = autoax::wmed::wmed_on_support(e, &support);
+            prop_assert!(w <= e.err.wce as f64 + 1e-9, "{}: {} > {}", e.label, w, e.err.wce);
+        }
+    }
+
+    #[test]
+    fn compiled_ops_match_entries(seed in any::<u64>()) {
+        let cfg = LibraryConfig::tiny();
+        let entries = build_class(OpSignature::MUL8, 10, &cfg, 7);
+        for e in &entries {
+            let op = CompiledOp::compile(e);
+            for (x, y) in autoax_circuit::util::stimulus_pairs(8, 8, 24, seed) {
+                prop_assert_eq!(op.eval(x, y), e.eval(x, y), "{}", &e.label);
+            }
+        }
+    }
+
+    #[test]
+    fn ssim_is_bounded_and_reflexive(seed in any::<u64>(), seed2 in any::<u64>()) {
+        use autoax_image::ssim::ssim;
+        use autoax_image::synthetic::{natural_proxy, value_noise};
+        let a = natural_proxy(32, 24, seed);
+        let b = value_noise(32, 24, seed2, 3);
+        let s = ssim(&a, &b);
+        prop_assert!(s <= 1.0 + 1e-12);
+        prop_assert!(s >= -1.0 - 1e-12);
+        prop_assert!((ssim(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((ssim(&a, &b) - ssim(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn characterization_invariants_hold(count in 6usize..14) {
+        let cfg = LibraryConfig::tiny();
+        let entries = build_class(OpSignature::SUB10, count, &cfg, count as u64);
+        for e in &entries {
+            prop_assert!(e.err.wce as f64 >= e.err.mae, "{}", &e.label);
+            prop_assert!((e.err.er == 0.0) == (e.err.wce == 0), "{}", &e.label);
+            prop_assert!(e.err.mse >= e.err.var_ed - 1e-9, "{}", &e.label);
+            prop_assert!(e.hw.area > 0.0);
+        }
+    }
+}
