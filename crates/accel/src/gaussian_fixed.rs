@@ -111,9 +111,8 @@ impl Accelerator for FixedGaussian {
         let mut top = Netlist::new("fixed_gf");
         let pixels: Vec<Bus> = (0..9).map(|_| top.input_bus(8)).collect();
         let zero = top.const0();
-        let concat = |a: &Bus, b: &Bus| -> Vec<NetId> {
-            a.iter().chain(b.iter()).copied().collect()
-        };
+        let concat =
+            |a: &Bus, b: &Bus| -> Vec<NetId> { a.iter().chain(b.iter()).copied().collect() };
         let pad16 = |bus: &Bus, zero: NetId| -> Bus {
             let mut v = bus.0.clone();
             v.truncate(16);
@@ -138,10 +137,7 @@ impl Accelerator for FixedGaussian {
         let e5 = pad16(&e.shifted_left(5, zero), zero);
         let e1 = pad16(&e.shifted_left(1, zero), zero);
         let t3 = Bus(top.instantiate(&impls[8], &concat(&e5, &e1)));
-        let t4 = Bus(top.instantiate(
-            &impls[9],
-            &concat(&pad16(&t2, zero), &pad16(&t3, zero)),
-        ));
+        let t4 = Bus(top.instantiate(&impls[9], &concat(&pad16(&t2, zero), &pad16(&t3, zero))));
         let m5 = pad16(&pixels[4].shifted_left(5, zero), zero);
         let t5 = Bus(top.instantiate(&impls[10], &concat(&pad16(&t4, zero), &m5)));
         // out = t5[15:8]

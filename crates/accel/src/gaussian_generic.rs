@@ -97,9 +97,8 @@ impl Accelerator for GenericGaussian {
         let pixels: Vec<Bus> = (0..9).map(|_| top.input_bus(8)).collect();
         let coeffs: Vec<Bus> = (0..9).map(|_| top.input_bus(8)).collect();
         let zero = top.const0();
-        let concat = |a: &Bus, b: &Bus| -> Vec<NetId> {
-            a.iter().chain(b.iter()).copied().collect()
-        };
+        let concat =
+            |a: &Bus, b: &Bus| -> Vec<NetId> { a.iter().chain(b.iter()).copied().collect() };
         let pad16 = |bus: &Bus, zero: NetId| -> Bus {
             let mut v = bus.0.clone();
             v.truncate(16);

@@ -98,7 +98,7 @@ pub fn csd_digits(c: u32) -> Vec<(i8, u32)> {
 pub fn csd_plan(c: u32) -> ShiftAddPlan {
     assert!(c > 0, "constant must be non-zero");
     let mut digits = csd_digits(c);
-    digits.sort_by(|a, b| b.1.cmp(&a.1)); // MSB first; first digit is +1
+    digits.sort_by_key(|d| std::cmp::Reverse(d.1)); // MSB first; first digit is +1
     debug_assert_eq!(digits[0].0, 1, "CSD leading digit is positive");
     if digits.len() == 1 {
         return ShiftAddPlan {
@@ -119,7 +119,10 @@ pub fn csd_plan(c: u32) -> ShiftAddPlan {
                 source: acc_source,
                 shift: acc_weight - w,
             },
-            rhs: Term { source: 0, shift: 0 },
+            rhs: Term {
+                source: 0,
+                shift: 0,
+            },
             subtract: d < 0,
         };
         steps.push(step);
@@ -144,13 +147,25 @@ pub fn fixed_gf_plans() -> [ShiftAddPlan; 3] {
         constant: 26,
         steps: vec![
             Step {
-                lhs: Term { source: 0, shift: 4 },
-                rhs: Term { source: 0, shift: 3 },
+                lhs: Term {
+                    source: 0,
+                    shift: 4,
+                },
+                rhs: Term {
+                    source: 0,
+                    shift: 3,
+                },
                 subtract: false,
             },
             Step {
-                lhs: Term { source: 1, shift: 0 },
-                rhs: Term { source: 0, shift: 1 },
+                lhs: Term {
+                    source: 1,
+                    shift: 0,
+                },
+                rhs: Term {
+                    source: 0,
+                    shift: 1,
+                },
                 subtract: false,
             },
         ],
@@ -160,8 +175,14 @@ pub fn fixed_gf_plans() -> [ShiftAddPlan; 3] {
     let p30 = ShiftAddPlan {
         constant: 30,
         steps: vec![Step {
-            lhs: Term { source: 0, shift: 5 },
-            rhs: Term { source: 0, shift: 1 },
+            lhs: Term {
+                source: 0,
+                shift: 5,
+            },
+            rhs: Term {
+                source: 0,
+                shift: 1,
+            },
             subtract: true,
         }],
         final_shift: 0,

@@ -59,8 +59,7 @@ impl Pmf {
     /// Library pre-processing uses this to bound the WMED cost on huge
     /// supports (the truncation point is documented in DESIGN.md).
     pub fn top_mass(&self, mass_frac: f64) -> Vec<((u32, u32), f64)> {
-        let mut items: Vec<((u32, u32), u64)> =
-            self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        let mut items: Vec<((u32, u32), u64)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
         items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let t = self.total.max(1) as f64;
         let mut acc = 0.0;
@@ -129,8 +128,7 @@ pub fn profile(accel: &dyn Accelerator, images: &[GrayImage]) -> Vec<Pmf> {
                     let mut n = [0u8; 9];
                     for dy in -1..=1 {
                         for dx in -1..=1 {
-                            n[(3 * (dy + 1) + dx + 1) as usize] =
-                                img.get_clamped(x + dx, y + dy);
+                            n[(3 * (dy + 1) + dx + 1) as usize] = img.get_clamped(x + dx, y + dy);
                         }
                     }
                     let _ = accel.kernel(mode, &n, &exact, &mut rec);

@@ -22,8 +22,7 @@ fn bench_estimation_vs_real(c: &mut Criterion) {
     let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
     let evaluator = Evaluator::new(&accel, &lib, &pre.space, &images);
     let train = EvaluatedSet::generate(&evaluator, &pre.space, 60, 1);
-    let models =
-        fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit");
+    let models = fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit");
     let mut rng = StdRng::seed_from_u64(5);
     let config = pre.space.random(&mut rng);
 

@@ -2,8 +2,8 @@
 //! (Algorithm 1 and random sampling) per model evaluation — the paper runs
 //! 10⁶ iterations in 3 hours including model calls.
 
-use autoax::model::{fit_models, EvaluatedSet};
 use autoax::evaluate::Evaluator;
+use autoax::model::{fit_models, EvaluatedSet};
 use autoax::pareto::TradeoffPoint;
 use autoax::preprocess::{preprocess, PreprocessOptions};
 use autoax::search::{heuristic_pareto, random_sampling, SearchOptions};
@@ -22,8 +22,7 @@ fn bench_search(c: &mut Criterion) {
     let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
     let evaluator = Evaluator::new(&accel, &lib, &pre.space, &images);
     let train = EvaluatedSet::generate(&evaluator, &pre.space, 60, 1);
-    let models =
-        fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit");
+    let models = fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit");
     let estimator = |cfg: &Configuration| {
         let (q, hw) = models.estimate(&pre.space, &lib, cfg);
         TradeoffPoint::new(q, hw)

@@ -26,12 +26,7 @@ use autoax_ml::engine::EngineKind;
 use autoax_ml::fidelity;
 use autoax_ml::linalg::Matrix;
 
-fn fit_and_test(
-    x_train: &Matrix,
-    y_train: &[f64],
-    x_test: &Matrix,
-    y_test: &[f64],
-) -> f64 {
+fn fit_and_test(x_train: &Matrix, y_train: &[f64], x_test: &Matrix, y_test: &[f64]) -> f64 {
     let mut model = EngineKind::RandomForest.make(42);
     model.fit(x_train, y_train).expect("fit");
     fidelity(&model.predict(x_test), y_test)
@@ -168,8 +163,7 @@ fn main() {
     let probe = |space: &autoax::ConfigSpace, seed: u64| -> (f64, f64) {
         let ev = Evaluator::new(&accel, &lib, space, &images);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let configs: Vec<autoax::Configuration> =
-            (0..40).map(|_| space.random(&mut rng)).collect();
+        let configs: Vec<autoax::Configuration> = (0..40).map(|_| space.random(&mut rng)).collect();
         let evals = ev.evaluate_batch(&configs);
         let mean_area = evals.iter().map(|r| r.hw.area).sum::<f64>() / evals.len() as f64;
         let min_area = evals

@@ -39,7 +39,11 @@ fn main() {
         );
         println!("{}", ascii_heatmap(&grid, bins));
         let rows: Vec<Vec<String>> = (0..bins)
-            .map(|r| (0..bins).map(|c| format!("{:.3e}", grid[r * bins + c])).collect())
+            .map(|r| {
+                (0..bins)
+                    .map(|c| format!("{:.3e}", grid[r * bins + c]))
+                    .collect()
+            })
             .collect();
         write_csv(
             &format!("fig3_pmf_{}.csv", slot.name),

@@ -38,11 +38,11 @@ fn main() {
         EngineKind::KNeighbors,
         EngineKind::MlpNeuralNetwork,
     ];
-    println!("\nFigure 4: estimated vs real area (test set, n = {})", real.len());
     println!(
-        "{:<24} {:>10} {:>10}",
-        "model", "pearson", "spearman"
+        "\nFigure 4: estimated vs real area (test set, n = {})",
+        real.len()
     );
+    println!("{:<24} {:>10} {:>10}", "model", "pearson", "spearman");
     let mut rows: Vec<Vec<String>> = (0..real.len())
         .map(|i| vec![format!("{:.2}", real[i])])
         .collect();

@@ -42,7 +42,7 @@ fn real_front(
     }
     let evals = evaluator.evaluate_batch(&configs);
     let mut front: ParetoFront<(Configuration, RealEval)> = ParetoFront::new();
-    for (c, r) in configs.into_iter().zip(evals.into_iter()) {
+    for (c, r) in configs.into_iter().zip(evals) {
         front.try_insert(TradeoffPoint::new(r.ssim, r.hw.area), (c, r));
     }
     front.into_sorted().into_iter().map(|(_, p)| p).collect()
@@ -101,8 +101,8 @@ fn main() {
             train_n
         };
         let train = EvaluatedSet::generate(&evaluator, &pre.space, budget, 1);
-        let models = fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42)
-            .expect("fit models");
+        let models =
+            fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit models");
         let estimator = |c: &Configuration| {
             let (q, hw) = models.estimate(&pre.space, &lib, c);
             TradeoffPoint::new(q, hw)

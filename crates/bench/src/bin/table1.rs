@@ -49,8 +49,15 @@ fn main() {
             total
         );
         assert_eq!(accel.name(), *name);
-        assert_eq!(&counts[..], &exp_counts[..], "{name}: class counts diverge from paper");
-        assert_eq!(total, *exp_total, "{name}: total op count diverges from paper");
+        assert_eq!(
+            &counts[..],
+            &exp_counts[..],
+            "{name}: class counts diverge from paper"
+        );
+        assert_eq!(
+            total, *exp_total,
+            "{name}: total op count diverges from paper"
+        );
         rows.push(
             std::iter::once(name.to_string())
                 .chain(counts.iter().map(|c| c.to_string()))

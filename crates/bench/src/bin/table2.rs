@@ -24,10 +24,7 @@ fn main() {
     let t0 = Instant::now();
     let lib = build_library(&cfg);
     let dt = t0.elapsed();
-    println!(
-        "{:<10} {:>10} {:>10}",
-        "instance", "target", "generated"
-    );
+    println!("{:<10} {:>10} {:>10}", "instance", "target", "generated");
     let mut rows = Vec::new();
     for sig in OpSignature::PAPER_CLASSES {
         let target = cfg.counts.for_signature(sig);

@@ -75,7 +75,11 @@ fn main() {
     let nrep = fidelity_report(&naive, &pre.space, &lib, &train, &test);
     println!(
         "{:<28} {:>9} {:>8.0}% {:>9} {:>8.0}%",
-        "Naive model", "—", nrep.qor_test * 100.0, "—", nrep.hw_test * 100.0
+        "Naive model",
+        "—",
+        nrep.qor_test * 100.0,
+        "—",
+        nrep.hw_test * 100.0
     );
     rows.push(vec![
         "Naive model".to_string(),

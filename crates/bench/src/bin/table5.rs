@@ -52,7 +52,11 @@ fn main() {
         "Application", "all possible", "lib. pre-process", "pseudo Pareto", "final Pareto"
     );
     let mut rows = Vec::new();
-    let runs: Vec<(Box<dyn Accelerator>, Vec<autoax_image::GrayImage>, PipelineOptions)> = vec![
+    let runs: Vec<(
+        Box<dyn Accelerator>,
+        Vec<autoax_image::GrayImage>,
+        PipelineOptions,
+    )> = vec![
         (
             Box::new(SobelEd::new()),
             sobel_image_suite(scale),
@@ -82,7 +86,11 @@ fn main() {
         );
         // paper shape: each step shrinks the candidate set by orders of
         // magnitude
-        assert!(full > reduced, "{}: pre-processing must reduce", accel.name());
+        assert!(
+            full > reduced,
+            "{}: pre-processing must reduce",
+            accel.name()
+        );
         assert!(
             (pseudo as f64) < 10f64.powf(reduced),
             "{}: pseudo front must be far smaller than the reduced space",

@@ -220,8 +220,7 @@ mod tests {
     #[test]
     fn scale_configs_are_ordered() {
         assert!(
-            Scale::Quick.library_config().counts.add8
-                < Scale::Paper.library_config().counts.add8
+            Scale::Quick.library_config().counts.add8 < Scale::Paper.library_config().counts.add8
         );
         assert_eq!(Scale::Paper.library_config().counts.mul8, 29911);
     }

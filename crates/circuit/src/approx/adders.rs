@@ -207,10 +207,7 @@ pub fn build_netlist(w: u32, kind: &AdderKind) -> Netlist {
                 &b.slice(k..w as usize),
                 None,
             );
-            Bus(std::iter::repeat(zero)
-                .take(k)
-                .chain(hi.0)
-                .collect())
+            Bus(std::iter::repeat_n(zero, k).chain(hi.0).collect())
         }
         AdderKind::TruncPass { k } => {
             let k = *k as usize;
@@ -278,7 +275,8 @@ pub fn build_netlist(w: u32, kind: &AdderKind) -> Netlist {
             if first >= w as usize {
                 arith::ripple_add_into(&mut n, &a, &b, None)
             } else {
-                let s0 = arith::ripple_add_into(&mut n, &a.slice(0..first), &b.slice(0..first), None);
+                let s0 =
+                    arith::ripple_add_into(&mut n, &a.slice(0..first), &b.slice(0..first), None);
                 let mut bits: Vec<_> = s0.0[..first].to_vec();
                 let mut top = None;
                 let mut m = first;

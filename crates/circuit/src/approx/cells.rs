@@ -35,10 +35,7 @@ impl FaCell {
     #[inline]
     pub fn eval(&self, a: u64, b: u64, cin: u64) -> (u64, u64) {
         let idx = (a & 1) | ((b & 1) << 1) | ((cin & 1) << 2);
-        (
-            (self.sum >> idx) as u64 & 1,
-            (self.carry >> idx) as u64 & 1,
-        )
+        ((self.sum >> idx) as u64 & 1, (self.carry >> idx) as u64 & 1)
     }
 
     /// Named approximate full-adder variants, in increasing "aggressiveness".

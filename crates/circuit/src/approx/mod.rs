@@ -27,8 +27,8 @@
 
 pub mod adders;
 pub mod cells;
-pub mod mutate;
 pub mod muls;
+pub mod mutate;
 pub mod subs;
 
 use crate::netlist::Netlist;
@@ -94,12 +94,9 @@ impl Behavior {
     /// the functional model in a loop.
     pub fn eval_batch(&self, pairs: &[(u64, u64)]) -> Vec<u64> {
         match self {
-            Behavior::Raw { sig, netlist } => crate::sim::eval_binop_batch(
-                netlist,
-                sig.width_a as u32,
-                sig.width_b as u32,
-                pairs,
-            ),
+            Behavior::Raw { sig, netlist } => {
+                crate::sim::eval_binop_batch(netlist, sig.width_a as u32, sig.width_b as u32, pairs)
+            }
             _ => pairs.iter().map(|&(a, b)| self.eval(a, b)).collect(),
         }
     }
@@ -153,12 +150,9 @@ mod tests {
         for sig in OpSignature::PAPER_CLASSES {
             let b = Behavior::exact_for(sig);
             assert_eq!(b.signature(), sig);
-            for (x, y) in crate::util::stimulus_pairs(
-                sig.width_a as u32,
-                sig.width_b as u32,
-                300,
-                42,
-            ) {
+            for (x, y) in
+                crate::util::stimulus_pairs(sig.width_a as u32, sig.width_b as u32, 300, 42)
+            {
                 assert_eq!(b.eval(x, y), sig.exact(x, y), "{sig} a={x} b={y}");
             }
         }
@@ -169,12 +163,9 @@ mod tests {
         for sig in OpSignature::PAPER_CLASSES {
             let b = Behavior::exact_for(sig);
             let n = b.build_netlist();
-            for (x, y) in crate::util::stimulus_pairs(
-                sig.width_a as u32,
-                sig.width_b as u32,
-                100,
-                7,
-            ) {
+            for (x, y) in
+                crate::util::stimulus_pairs(sig.width_a as u32, sig.width_b as u32, 100, 7)
+            {
                 let f = b.eval(x, y);
                 let g = crate::sim::eval_binop(&n, sig.width_a as u32, sig.width_b as u32, x, y);
                 assert_eq!(f, g, "{sig} a={x} b={y}");

@@ -215,8 +215,8 @@ pub fn build_netlist(wa: u32, wb: u32, kind: &MulKind) -> Netlist {
             let wout = (wa + wb) as usize;
             let zero = n.const0();
             let mut acc = vec![zero; wout];
-            for j in 0..wa as usize {
-                acc[j] = n.and2(a.bit(j), b.bit(0));
+            for (j, slot) in acc.iter_mut().enumerate().take(wa as usize) {
+                *slot = n.and2(a.bit(j), b.bit(0));
             }
             for i in 1..wb as usize {
                 let bi = b.bit(i);

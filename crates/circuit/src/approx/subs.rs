@@ -124,30 +124,21 @@ pub fn build_netlist(w: u32, kind: &SubKind) -> Netlist {
         SubKind::TruncZero { k } => {
             let k = *k as usize;
             let zero = n.const0();
-            let hi = arith::ripple_sub_into(
-                &mut n,
-                &a.slice(k..w as usize),
-                &b.slice(k..w as usize),
-            );
-            Bus(std::iter::repeat(zero).take(k).chain(hi.0).collect())
+            let hi =
+                arith::ripple_sub_into(&mut n, &a.slice(k..w as usize), &b.slice(k..w as usize));
+            Bus(std::iter::repeat_n(zero, k).chain(hi.0).collect())
         }
         SubKind::TruncPass { k } => {
             let k = *k as usize;
-            let hi = arith::ripple_sub_into(
-                &mut n,
-                &a.slice(k..w as usize),
-                &b.slice(k..w as usize),
-            );
+            let hi =
+                arith::ripple_sub_into(&mut n, &a.slice(k..w as usize), &b.slice(k..w as usize));
             Bus(a.0[..k].iter().copied().chain(hi.0).collect())
         }
         SubKind::XorLower { k } => {
             let k = *k as usize;
             let low: Vec<_> = (0..k).map(|i| n.xor2(a.bit(i), b.bit(i))).collect();
-            let hi = arith::ripple_sub_into(
-                &mut n,
-                &a.slice(k..w as usize),
-                &b.slice(k..w as usize),
-            );
+            let hi =
+                arith::ripple_sub_into(&mut n, &a.slice(k..w as usize), &b.slice(k..w as usize));
             Bus(low.into_iter().chain(hi.0).collect())
         }
         SubKind::Seg { segs } => {
@@ -155,11 +146,8 @@ pub fn build_netlist(w: u32, kind: &SubKind) -> Netlist {
             let mut off = 0usize;
             for (j, &s) in segs.iter().enumerate() {
                 let s = s as usize;
-                let d = arith::ripple_sub_into(
-                    &mut n,
-                    &a.slice(off..off + s),
-                    &b.slice(off..off + s),
-                );
+                let d =
+                    arith::ripple_sub_into(&mut n, &a.slice(off..off + s), &b.slice(off..off + s));
                 if j + 1 == segs.len() {
                     bits.extend_from_slice(&d.0[..s + 1]);
                 } else {
@@ -197,7 +185,9 @@ mod tests {
         assert_eq!(net.input_count() as u32, 2 * w);
         assert_eq!(net.outputs().len() as u32, w + 1);
         let pairs: Vec<(u64, u64)> = if w <= 6 {
-            (0..(1u64 << (2 * w))).map(|v| (v & mask(w), v >> w)).collect()
+            (0..(1u64 << (2 * w)))
+                .map(|v| (v & mask(w), v >> w))
+                .collect()
         } else {
             crate::util::stimulus_pairs(w, w, 600, 21)
         };

@@ -163,7 +163,12 @@ mod tests {
     fn cla_trades_area_for_delay_on_wide_adders() {
         let (_, rca) = synthesize(&ripple_carry_adder(16));
         let (_, cla) = synthesize(&carry_lookahead_adder(16));
-        assert!(cla.delay < rca.delay, "CLA {} !< RCA {}", cla.delay, rca.delay);
+        assert!(
+            cla.delay < rca.delay,
+            "CLA {} !< RCA {}",
+            cla.delay,
+            rca.delay
+        );
         assert!(cla.area > rca.area, "CLA should pay area for speed");
     }
 

@@ -271,9 +271,7 @@ pub fn build_class(
         round_seed = round_seed.wrapping_add(0xABCD_EF01);
 
         let characterized = par_map(&candidates, |b| characterize(sig, b, cfg));
-        for (behavior, (err, hw, fingerprint)) in
-            candidates.into_iter().zip(characterized.into_iter())
-        {
+        for (behavior, (err, hw, fingerprint)) in candidates.into_iter().zip(characterized) {
             if entries.len() >= target {
                 break;
             }
@@ -307,7 +305,11 @@ pub fn build_class(
 /// Everything goes through the circuit's netlist and the bit-parallel
 /// simulator, so characterization also exercises the same structure that
 /// hardware analysis sees.
-fn characterize(sig: OpSignature, behavior: &Behavior, cfg: &LibraryConfig) -> (ErrorMetrics, HwReport, u64) {
+fn characterize(
+    sig: OpSignature,
+    behavior: &Behavior,
+    cfg: &LibraryConfig,
+) -> (ErrorMetrics, HwReport, u64) {
     let netlist = behavior.build_netlist();
     let (_, hw) = synth::synthesize(&netlist);
     let wa = sig.width_a as u32;
@@ -326,7 +328,12 @@ fn characterize(sig: OpSignature, behavior: &Behavior, cfg: &LibraryConfig) -> (
             push_fp(raw);
         }
     } else {
-        let pairs = stimulus_pairs(wa, sig.width_b as u32, cfg.char_samples, 0x5EED ^ sig.input_bits() as u64);
+        let pairs = stimulus_pairs(
+            wa,
+            sig.width_b as u32,
+            cfg.char_samples,
+            0x5EED ^ sig.input_bits() as u64,
+        );
         let outs = sim::eval_binop_batch(&netlist, wa, sig.width_b as u32, &pairs);
         for (&(a, b), &raw) in pairs.iter().zip(outs.iter()) {
             stats.push(sig.error(a, b, raw), sig.exact(a, b));
@@ -457,9 +464,7 @@ fn structured_muls(wa: u32, wb: u32) -> Vec<Behavior> {
     if wa == wb && wa.is_power_of_two() && wa >= 4 {
         let n_leaves = (wa / 2) * (wb / 2);
         for l in 0..n_leaves.min(16) {
-            push(MulKind::Udm {
-                leaf_mask: 1 << l,
-            });
+            push(MulKind::Udm { leaf_mask: 1 << l });
         }
         for k in 2..=n_leaves.min(16) {
             push(MulKind::Udm {
@@ -472,7 +477,13 @@ fn structured_muls(wa: u32, wb: u32) -> Vec<Behavior> {
         for cell in FaCell::approx_fa_catalog() {
             let cells: Arc<[FaCell]> = (1..wb)
                 .flat_map(|i| {
-                    (0..wa).map(move |j| if i + j < k_cols { cell } else { FaCell::EXACT_FA })
+                    (0..wa).map(move |j| {
+                        if i + j < k_cols {
+                            cell
+                        } else {
+                            FaCell::EXACT_FA
+                        }
+                    })
                 })
                 .collect::<Vec<_>>()
                 .into();
@@ -519,8 +530,10 @@ fn fill_candidates(sig: OpSignature, n: usize, cfg: &LibraryConfig, seed: u64) -
                             if i < k {
                                 match splitmix64(&mut st) % 3 {
                                     0 => FaCell::random(&mut st),
-                                    _ => catalog
-                                        [(splitmix64(&mut st) % catalog.len() as u64) as usize],
+                                    _ => {
+                                        catalog
+                                            [(splitmix64(&mut st) % catalog.len() as u64) as usize]
+                                    }
                                 }
                             } else {
                                 FaCell::EXACT_FA
@@ -563,9 +576,7 @@ fn fill_candidates(sig: OpSignature, n: usize, cfg: &LibraryConfig, seed: u64) -
                         if i < k {
                             match splitmix64(&mut st) % 3 {
                                 0 => FaCell::random(&mut st),
-                                _ => {
-                                    catalog[(splitmix64(&mut st) % catalog.len() as u64) as usize]
-                                }
+                                _ => catalog[(splitmix64(&mut st) % catalog.len() as u64) as usize],
                             }
                         } else {
                             FaCell::EXACT_FS
@@ -597,19 +608,22 @@ fn fill_candidates(sig: OpSignature, n: usize, cfg: &LibraryConfig, seed: u64) -
                         let catalog = FaCell::approx_fa_catalog();
                         let cells: Arc<[FaCell]> = (1..wb)
                             .flat_map(|i| {
-                                (0..wa).map(|j| {
-                                    if i + j < k_cols {
-                                        match splitmix64(&mut st) % 3 {
-                                            0 => FaCell::random(&mut st),
-                                            _ => catalog[(splitmix64(&mut st)
-                                                % catalog.len() as u64)
-                                                as usize],
+                                (0..wa)
+                                    .map(|j| {
+                                        if i + j < k_cols {
+                                            match splitmix64(&mut st) % 3 {
+                                                0 => FaCell::random(&mut st),
+                                                _ => {
+                                                    catalog[(splitmix64(&mut st)
+                                                        % catalog.len() as u64)
+                                                        as usize]
+                                                }
+                                            }
+                                        } else {
+                                            FaCell::EXACT_FA
                                         }
-                                    } else {
-                                        FaCell::EXACT_FA
-                                    }
-                                })
-                                .collect::<Vec<_>>()
+                                    })
+                                    .collect::<Vec<_>>()
                             })
                             .collect::<Vec<_>>()
                             .into();
@@ -666,8 +680,7 @@ mod tests {
         // plus the hardware cost, so no two entries may agree on both
         // (functionally identical architecture variants like ripple vs
         // lookahead are legitimately distinct entries).
-        let all_pairs: Vec<(u64, u64)> =
-            (0..65536u64).map(|v| (v & 0xFF, v >> 8)).collect();
+        let all_pairs: Vec<(u64, u64)> = (0..65536u64).map(|v| (v & 0xFF, v >> 8)).collect();
         let mut sigs = HashSet::new();
         for e in &entries {
             let mut v = e.behavior.eval_batch(&all_pairs);

@@ -80,8 +80,8 @@ pub fn eval_binop_batch(netlist: &Netlist, wa: u32, wb: u32, pairs: &[(u64, u64)
     for chunk in pairs.chunks(64) {
         words.iter_mut().for_each(|w| *w = 0);
         for (lane, &(a, b)) in chunk.iter().enumerate() {
-            for i in 0..wa as usize {
-                words[i] |= ((a >> i) & 1) << lane;
+            for (i, w) in words.iter_mut().enumerate().take(wa as usize) {
+                *w |= ((a >> i) & 1) << lane;
             }
             for i in 0..wb as usize {
                 words[wa as usize + i] |= ((b >> i) & 1) << lane;
@@ -155,12 +155,7 @@ pub fn exhaustive_outputs(netlist: &Netlist) -> Vec<u64> {
 ///
 /// Returns the first differing assignment as a counterexample, or `None`
 /// when equivalent on all tested stimuli.
-pub fn check_equivalence(
-    a: &Netlist,
-    b: &Netlist,
-    n_samples: usize,
-    seed: u64,
-) -> Option<u64> {
+pub fn check_equivalence(a: &Netlist, b: &Netlist, n_samples: usize, seed: u64) -> Option<u64> {
     assert_eq!(a.input_count(), b.input_count());
     assert_eq!(a.outputs().len(), b.outputs().len());
     let k = a.input_count() as u32;

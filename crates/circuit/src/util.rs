@@ -76,7 +76,10 @@ where
         let f = &f;
         let mut handles = Vec::new();
         for (ci, part) in items.chunks(chunk).enumerate() {
-            handles.push((ci, scope.spawn(move || part.iter().map(f).collect::<Vec<U>>())));
+            handles.push((
+                ci,
+                scope.spawn(move || part.iter().map(f).collect::<Vec<U>>()),
+            ));
         }
         for (ci, h) in handles {
             results[ci] = Some(h.join().expect("par_map worker panicked"));

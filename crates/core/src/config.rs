@@ -71,10 +71,7 @@ impl ConfigSpace {
     /// Total number of configurations as `f64` (spaces routinely exceed
     /// `u64`; the paper reports 7.15·10^63 for the generic GF).
     pub fn size(&self) -> f64 {
-        self.slots
-            .iter()
-            .map(|s| s.members.len() as f64)
-            .product()
+        self.slots.iter().map(|s| s.members.len() as f64).product()
     }
 
     /// `log10` of the space size.

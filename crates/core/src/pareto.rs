@@ -100,13 +100,16 @@ impl<T> FromIterator<(TradeoffPoint, T)> for ParetoFront<T> {
     }
 }
 
+/// `(qor, cost)` coordinates normalized into the unit square.
+pub type NormalizedPoints = Vec<(f64, f64)>;
+
 /// Normalizes two point sets into `[0, 1]²` over their joint bounding box
 /// (the paper: "the distance is calculated from estimated QoR and HW
 /// parameters normalized to range <0,1>").
 pub fn normalize_joint(
     a: &[TradeoffPoint],
     b: &[TradeoffPoint],
-) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+) -> (NormalizedPoints, NormalizedPoints) {
     let mut qmin = f64::INFINITY;
     let mut qmax = f64::NEG_INFINITY;
     let mut cmin = f64::INFINITY;
@@ -278,6 +281,106 @@ mod tests {
                     assert!(!a.dominates(b), "{a:?} dominates {b:?}");
                 }
             }
+        }
+    }
+
+    /// Deterministic pseudo-random stream on a coarse grid so the stream
+    /// contains duplicates, dominated points and ties in one objective.
+    fn grid_stream(seed: u64, n: usize) -> Vec<TradeoffPoint> {
+        let mut st = seed;
+        (0..n)
+            .map(|_| {
+                st = st
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let q = ((st >> 33) % 13) as f64 / 12.0;
+                st = st
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let c = ((st >> 33) % 11) as f64 / 10.0;
+                TradeoffPoint::new(q, c)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_dominated_input_is_excluded_from_the_front() {
+        let inputs = grid_stream(2019, 600);
+        let mut front = ParetoFront::new();
+        for (i, p) in inputs.iter().enumerate() {
+            front.try_insert(*p, i);
+        }
+        let pts = front.points();
+        for inp in &inputs {
+            let on_front = pts.iter().any(|p| p.qor == inp.qor && p.cost == inp.cost);
+            let dominated = pts.iter().any(|p| p.dominates(inp));
+            // Completeness: an input is either kept (by value) or beaten.
+            assert!(
+                on_front || dominated,
+                "{inp:?} neither on front nor dominated"
+            );
+            // Minimality: nothing on the front is dominated by the front.
+            assert!(!(on_front && dominated), "{inp:?} kept while dominated");
+        }
+    }
+
+    #[test]
+    fn no_front_point_dominates_another_regardless_of_insertion_order() {
+        let mut inputs = grid_stream(7, 300);
+        for pass in 0..3 {
+            // different insertion orders must all yield a minimal front
+            inputs.rotate_left(97 * pass + 1);
+            let mut front = ParetoFront::new();
+            for p in &inputs {
+                front.try_insert(*p, ());
+            }
+            let pts = front.points();
+            assert!(!pts.is_empty());
+            for (i, a) in pts.iter().enumerate() {
+                for (j, b) in pts.iter().enumerate() {
+                    if i != j {
+                        assert!(!a.dominates(b), "pass {pass}: {a:?} dominates {b:?}");
+                        assert!(
+                            !(a.qor == b.qor && a.cost == b.cost),
+                            "pass {pass}: duplicate {a:?} kept"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pareto3_front_is_minimal_and_complete() {
+        let mut st = 99u64;
+        let mut next = || {
+            st = st
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((st >> 33) % 7) as f64 / 6.0
+        };
+        let inputs: Vec<[f64; 3]> = (0..400).map(|_| [next(), next(), next()]).collect();
+        let mut front = ParetoFront3::new();
+        for (i, p) in inputs.iter().enumerate() {
+            front.try_insert(p[0], p[1], p[2], i);
+        }
+        let dom = |a: &[f64; 3], b: &[f64; 3]| {
+            a[0] >= b[0]
+                && a[1] <= b[1]
+                && a[2] <= b[2]
+                && (a[0] > b[0] || a[1] < b[1] || a[2] < b[2])
+        };
+        let members: Vec<[f64; 3]> = front.iter().map(|(p, _)| *p).collect();
+        for (i, a) in members.iter().enumerate() {
+            for (j, b) in members.iter().enumerate() {
+                assert!(i == j || !dom(a, b), "{a:?} dominates {b:?}");
+            }
+        }
+        for inp in &inputs {
+            assert!(
+                members.iter().any(|m| m == inp) || members.iter().any(|m| dom(m, inp)),
+                "{inp:?} lost without being dominated"
+            );
         }
     }
 

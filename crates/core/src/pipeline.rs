@@ -5,11 +5,9 @@
 use crate::config::Configuration;
 use crate::error::AutoAxError;
 use crate::evaluate::{Evaluator, RealEval};
-use crate::model::{
-    fidelity_report, fit_models, EvaluatedSet, FidelityReport, FittedModels,
-};
+use crate::model::{fidelity_report, fit_models, EvaluatedSet, FidelityReport, FittedModels};
 use crate::pareto::{ParetoFront, ParetoFront3, TradeoffPoint};
-use crate::preprocess::{preprocess, Preprocessed, PreprocessOptions};
+use crate::preprocess::{preprocess, PreprocessOptions, Preprocessed};
 use crate::search::{heuristic_pareto, SearchOptions};
 use autoax_accel::Accelerator;
 use autoax_circuit::charlib::ComponentLibrary;
@@ -193,8 +191,7 @@ pub fn run_pipeline(
     // Step 3b: real evaluation of the pseudo-Pareto set (capped), final
     // Pareto filtering on real SSIM, area and energy.
     let t4 = Instant::now();
-    let mut members: Vec<(TradeoffPoint, Configuration)> =
-        pseudo_front.clone().into_sorted();
+    let mut members: Vec<(TradeoffPoint, Configuration)> = pseudo_front.clone().into_sorted();
     if members.len() > opts.final_eval_cap {
         // keep an even spread across the estimated front
         let n = members.len();
@@ -211,18 +208,13 @@ pub fn run_pipeline(
         configs.push(exact);
     }
     let evals = evaluator.evaluate_batch(&configs);
-    let evaluated: Vec<(Configuration, RealEval)> =
-        configs.into_iter().zip(evals).collect();
+    let evaluated: Vec<(Configuration, RealEval)> = configs.into_iter().zip(evals).collect();
     let mut front3: ParetoFront3<Configuration> = ParetoFront3::new();
     let mut seen_points: std::collections::HashSet<(u64, u64, u64)> =
         std::collections::HashSet::new();
     for (c, r) in &evaluated {
         // skip exact duplicates of an already-inserted objective triple
-        let key = (
-            r.ssim.to_bits(),
-            r.hw.area.to_bits(),
-            r.hw.energy.to_bits(),
-        );
+        let key = (r.ssim.to_bits(), r.hw.area.to_bits(), r.hw.energy.to_bits());
         if seen_points.insert(key) {
             front3.try_insert(r.ssim, r.hw.area, r.hw.energy, c.clone());
         }

@@ -54,13 +54,12 @@ mod tests {
     /// all-equal assignments, which random sampling seldom hits.
     fn needle_estimator(c: &Configuration) -> TradeoffPoint {
         let t: f64 = c.0.iter().map(|&v| v as f64).sum();
-        let spread = c
-            .0
-            .iter()
-            .map(|&v| v as f64)
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
-                (lo.min(v), hi.max(v))
-            });
+        let spread =
+            c.0.iter()
+                .map(|&v| v as f64)
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+                    (lo.min(v), hi.max(v))
+                });
         let penalty = (spread.1 - spread.0) * 3.0;
         TradeoffPoint::new(-(t + penalty), 100.0 - t + penalty)
     }
@@ -89,18 +88,16 @@ mod tests {
         let w: Vec<f64> = (0..6).map(|i| 1.0 + i as f64 * 0.35).collect();
         let u: Vec<f64> = (0..6).map(|i| 1.0 + ((i * 3) % 5) as f64 * 0.6).collect();
         let est = move |c: &Configuration| {
-            let qor: f64 = -c
-                .0
-                .iter()
-                .zip(w.iter())
-                .map(|(&v, wi)| wi * v as f64)
-                .sum::<f64>();
-            let cost: f64 = c
-                .0
-                .iter()
-                .zip(u.iter())
-                .map(|(&v, ui)| ui * (4.0 - v as f64))
-                .sum();
+            let qor: f64 =
+                -c.0.iter()
+                    .zip(w.iter())
+                    .map(|(&v, wi)| wi * v as f64)
+                    .sum::<f64>();
+            let cost: f64 =
+                c.0.iter()
+                    .zip(u.iter())
+                    .map(|(&v, ui)| ui * (4.0 - v as f64))
+                    .sum();
             TradeoffPoint::new(qor, cost)
         };
         let space = toy_space(6, 5); // 15625 configs: exhaustible

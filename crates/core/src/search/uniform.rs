@@ -89,20 +89,14 @@ mod tests {
 
     #[test]
     fn first_level_is_exact_configuration() {
-        let space = space_with_wmeds(vec![
-            vec![0.0, 10.0, 40.0],
-            vec![0.0, 5.0, 80.0],
-        ]);
+        let space = space_with_wmeds(vec![vec![0.0, 10.0, 40.0], vec![0.0, 5.0, 80.0]]);
         let configs = uniform_selection(&space, 5);
         assert_eq!(configs[0], Configuration(vec![0, 0]));
     }
 
     #[test]
     fn last_level_picks_highest_error_members() {
-        let space = space_with_wmeds(vec![
-            vec![0.0, 10.0, 40.0],
-            vec![0.0, 5.0, 40.0],
-        ]);
+        let space = space_with_wmeds(vec![vec![0.0, 10.0, 40.0], vec![0.0, 5.0, 40.0]]);
         let configs = uniform_selection(&space, 5);
         let last = configs.last().unwrap();
         assert_eq!(*last, Configuration(vec![2, 2]));

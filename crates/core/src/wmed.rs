@@ -38,8 +38,83 @@ pub fn wmed_class(entries: &[CircuitEntry], pmf: &Pmf, mass_frac: f64) -> Vec<f6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autoax_circuit::charlib::{build_class, LibraryConfig};
-    use autoax_circuit::OpSignature;
+    use autoax_circuit::approx::adders::AdderKind;
+    use autoax_circuit::approx::Behavior;
+    use autoax_circuit::charlib::{build_class, CircuitEntry, CircuitId, LibraryConfig};
+    use autoax_circuit::synth::HwReport;
+    use autoax_circuit::{ErrorMetrics, OpSignature};
+
+    /// An 8-bit adder that zeroes the low `k` result bits
+    /// (`((a >> k) + (b >> k)) << k`), wrapped as a bare library entry.
+    fn trunc_adder_entry(k: u32) -> CircuitEntry {
+        CircuitEntry {
+            id: CircuitId(1),
+            behavior: Behavior::Adder {
+                w: 8,
+                kind: AdderKind::TruncZero { k },
+            },
+            label: format!("add_trunc0_k{k}"),
+            hw: HwReport::ZERO,
+            err: ErrorMetrics::default(),
+        }
+    }
+
+    #[test]
+    fn wmed_matches_hand_computed_error_table() {
+        // TruncZero k=2 computes ((a >> 2) + (b >> 2)) << 2, so:
+        //   (3, 1): exact 4,  approx (0 + 0) << 2 = 0  -> |err| = 4
+        //   (4, 4): exact 8,  approx (1 + 1) << 2 = 8  -> |err| = 0
+        //   (7, 5): exact 12, approx (1 + 1) << 2 = 8  -> |err| = 4
+        // With weights (0.5, 0.25, 0.25):
+        //   WMED = 0.5 * 4 + 0.25 * 0 + 0.25 * 4 = 3 (exact in binary fp).
+        let entry = trunc_adder_entry(2);
+        let support = [((3, 1), 0.5), ((4, 4), 0.25), ((7, 5), 0.25)];
+        assert_eq!(wmed_on_support(&entry, &support), 3.0);
+    }
+
+    #[test]
+    fn wmed_from_profiled_pmf_matches_hand_computed_table() {
+        // The same error table, with the weights coming from a profiled
+        // PMF: 2 hits on (3,1) and 1 hit each on (4,4) and (7,5) gives
+        // probabilities (0.5, 0.25, 0.25) after normalization.
+        let entry = trunc_adder_entry(2);
+        let mut pmf = Pmf::new();
+        pmf.add(3, 1);
+        pmf.add(3, 1);
+        pmf.add(4, 4);
+        pmf.add(7, 5);
+        let support = pmf.top_mass(1.0);
+        assert_eq!(wmed_on_support(&entry, &support), 3.0);
+    }
+
+    #[test]
+    fn wmed_scales_linearly_with_truncation_error() {
+        // On the all-ones operand pair (every low bit lost), TruncZero's
+        // absolute error is exactly (a mod 2^k) + (b mod 2^k); a
+        // single-point PMF makes WMED equal that number.
+        for k in 1..4u32 {
+            let entry = trunc_adder_entry(k);
+            let a = (1u32 << k) - 1; // low k bits all set
+            let support = [((a, a), 1.0)];
+            let expected = 2.0 * a as f64;
+            assert_eq!(wmed_on_support(&entry, &support), expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn wmed_of_exact_behavior_is_zero_on_any_support() {
+        let entry = CircuitEntry {
+            id: CircuitId(0),
+            behavior: Behavior::exact_for(OpSignature::ADD8),
+            label: "add_exact".into(),
+            hw: HwReport::ZERO,
+            err: ErrorMetrics::default(),
+        };
+        let support: Vec<((u32, u32), f64)> = (0..64u32)
+            .map(|i| (((i * 7) % 256, (i * 13) % 256), 1.0 / 64.0))
+            .collect();
+        assert_eq!(wmed_on_support(&entry, &support), 0.0);
+    }
 
     fn diag_pmf() -> Pmf {
         // Mass concentrated near small operands.

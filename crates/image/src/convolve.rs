@@ -13,7 +13,8 @@ pub fn convolve3x3(img: &GrayImage, kernel: &[[f64; 3]; 3], scale: f64) -> GrayI
         let mut acc = 0.0f64;
         for (ky, row) in kernel.iter().enumerate() {
             for (kx, &k) in row.iter().enumerate() {
-                let px = img.get_clamped(x as isize + kx as isize - 1, y as isize + ky as isize - 1);
+                let px =
+                    img.get_clamped(x as isize + kx as isize - 1, y as isize + ky as isize - 1);
                 acc += k * px as f64;
             }
         }
@@ -28,7 +29,8 @@ pub fn convolve3x3_abs(img: &GrayImage, kernel: &[[f64; 3]; 3], scale: f64) -> G
         let mut acc = 0.0f64;
         for (ky, row) in kernel.iter().enumerate() {
             for (kx, &k) in row.iter().enumerate() {
-                let px = img.get_clamped(x as isize + kx as isize - 1, y as isize + ky as isize - 1);
+                let px =
+                    img.get_clamped(x as isize + kx as isize - 1, y as isize + ky as isize - 1);
                 acc += k * px as f64;
             }
         }
@@ -54,7 +56,11 @@ mod tests {
         let blurred = convolve3x3(&img, &k, 1.0 / 9.0);
         let var = |im: &GrayImage| {
             let m = im.mean();
-            im.data().iter().map(|&p| (p as f64 - m).powi(2)).sum::<f64>() / im.data().len() as f64
+            im.data()
+                .iter()
+                .map(|&p| (p as f64 - m).powi(2))
+                .sum::<f64>()
+                / im.data().len() as f64
         };
         assert!(var(&blurred) < var(&img));
     }

@@ -92,8 +92,8 @@ pub fn ssim(a: &GrayImage, b: &GrayImage) -> f64 {
         let va = (m_a2[i] - ma * ma).max(0.0);
         let vb = (m_b2[i] - mb * mb).max(0.0);
         let cov = m_ab[i] - ma * mb;
-        let s = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
-            / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+        let s =
+            ((2.0 * ma * mb + c1) * (2.0 * cov + c2)) / ((ma * ma + mb * mb + c1) * (va + vb + c2));
         total += s;
     }
     total / n as f64
@@ -113,6 +113,17 @@ pub fn mean_ssim(approx: &[GrayImage], golden: &[GrayImage]) -> f64 {
         .map(|(a, g)| ssim(a, g))
         .sum::<f64>()
         / approx.len() as f64
+}
+
+/// Tiny deterministic signed-noise helper for tests (kept out of the public
+/// API surface).
+#[doc(hidden)]
+pub fn synthetic_test_noise(state: &mut u64, amount: i32) -> i32 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let r = (*state >> 33) as i32;
+    (r % (2 * amount + 1)) - amount
 }
 
 #[cfg(test)]
@@ -178,13 +189,4 @@ mod tests {
         let b = GrayImage::new(5, 4);
         let _ = ssim(&a, &b);
     }
-}
-
-/// Tiny deterministic signed-noise helper for tests (kept out of the public
-/// API surface).
-#[doc(hidden)]
-pub fn synthetic_test_noise(state: &mut u64, amount: i32) -> i32 {
-    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-    let r = (*state >> 33) as i32;
-    (r % (2 * amount + 1)) - amount
 }

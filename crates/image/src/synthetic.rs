@@ -49,7 +49,9 @@ pub fn value_noise(width: usize, height: usize, seed: u64, octaves: u32) -> Gray
         amplitude *= 0.55;
     }
     GrayImage::from_fn(width, height, |x, y| {
-        (acc[y * width + x] / total_amp * 255.0).round().clamp(0.0, 255.0) as u8
+        (acc[y * width + x] / total_amp * 255.0)
+            .round()
+            .clamp(0.0, 255.0) as u8
     })
 }
 
@@ -78,13 +80,25 @@ pub fn blobs(width: usize, height: usize, seed: u64, count: usize) -> GrayImage 
             )
         })
         .collect();
-    GrayImage::from_fn(width, height, |x, y| {
-        let mut v = 0.08f64;
-        for &(cx, cy, r, a) in &centers {
-            let d2 = (x as f64 - cx).powi(2) + (y as f64 - cy).powi(2);
-            v += a * (-d2 / (2.0 * r * r)).exp();
+    let mut field = vec![0.0f64; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let mut v = 0.08f64;
+            for &(cx, cy, r, a) in &centers {
+                let d2 = (x as f64 - cx).powi(2) + (y as f64 - cy).powi(2);
+                v += a * (-d2 / (2.0 * r * r)).exp();
+            }
+            field[y * width + x] = v;
         }
-        (v.min(1.0) * 255.0).round() as u8
+    }
+    // Min-max normalize: on small images the blobs overlap so much that a
+    // clamped sum can saturate the whole frame; normalizing keeps the
+    // contrast (and neighbour correlation) at every geometry.
+    let lo = field.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = field.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    GrayImage::from_fn(width, height, |x, y| {
+        ((field[y * width + x] - lo) / span * 255.0).round() as u8
     })
 }
 
@@ -209,7 +223,10 @@ mod tests {
                 }
             }
         }
-        assert!(strong_edges > 50, "expected sharp edges, got {strong_edges}");
+        assert!(
+            strong_edges > 50,
+            "expected sharp edges, got {strong_edges}"
+        );
     }
 
     #[test]

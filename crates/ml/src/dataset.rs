@@ -96,7 +96,7 @@ impl TargetScaler {
 /// Deterministic index shuffle (Fisher–Yates with a SplitMix64 stream).
 pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
-    let mut st = seed ^ 0x51_7CC1_B727_220A_95;
+    let mut st = seed ^ 0x517C_C1B7_2722_0A95;
     for i in (1..n).rev() {
         st = st.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = st;

@@ -126,9 +126,7 @@ impl EngineKind {
             )),
             EngineKind::KNeighbors => Box::new(crate::knn::KNeighbors::new()),
             EngineKind::BayesianRidge => Box::new(crate::linear::BayesianRidge::new()),
-            EngineKind::PartialLeastSquares => {
-                Box::new(crate::pls::PartialLeastSquares::new())
-            }
+            EngineKind::PartialLeastSquares => Box::new(crate::pls::PartialLeastSquares::new()),
             EngineKind::Lasso => Box::new(crate::lasso::Lasso::new(1e-3)),
             EngineKind::AdaBoost => Box::new(crate::adaboost::AdaBoost::new(seed)),
             EngineKind::LeastAngle => Box::new(crate::lars::LeastAngle::new()),
@@ -136,9 +134,7 @@ impl EngineKind {
             EngineKind::MlpNeuralNetwork => Box::new(crate::mlp::Mlp::new(seed)),
             EngineKind::GaussianProcess => Box::new(crate::gp::GaussianProcess::new()),
             EngineKind::KernelRidge => Box::new(crate::kernel_ridge::KernelRidge::new()),
-            EngineKind::StochasticGradientDescent => {
-                Box::new(crate::linear::SgdLinear::new(seed))
-            }
+            EngineKind::StochasticGradientDescent => Box::new(crate::linear::SgdLinear::new(seed)),
         }
     }
 }
@@ -218,7 +214,10 @@ mod tests {
         let train_f = fidelity(&gp.predict(&xt), &yt);
         let test_f = fidelity(&gp.predict(&xv), &yv);
         assert!(train_f > 0.97, "GP must interpolate: {train_f}");
-        assert!(test_f < train_f, "GP should generalize worse than it trains");
+        assert!(
+            test_f < train_f,
+            "GP should generalize worse than it trains"
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ fn relation(a: f64, b: f64, eps: f64) -> Relation {
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn fidelity_with_eps(estimated: &[f64], real: &[f64], eps: f64) -> f64 {
-    assert_eq!(estimated.len(), real.len(), "fidelity input length mismatch");
+    assert_eq!(
+        estimated.len(),
+        real.len(),
+        "fidelity input length mismatch"
+    );
     let n = estimated.len();
     if n < 2 {
         return 1.0;

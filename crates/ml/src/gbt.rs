@@ -58,13 +58,7 @@ impl Regressor for GradientBoosting {
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self
-                    .stages
-                    .iter()
-                    .map(|t| t.predict_row(row))
-                    .sum::<f64>()
+        self.base + self.learning_rate * self.stages.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 }
 
@@ -74,7 +68,9 @@ mod tests {
 
     #[test]
     fn fits_linear_function() {
-        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 20) as f64, (i / 20) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 20) as f64, (i / 20) as f64])
+            .collect();
         let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
         let x = Matrix::from_rows(&rows);
         let mut g = GradientBoosting::new(0);

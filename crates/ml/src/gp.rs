@@ -131,7 +131,8 @@ mod tests {
     #[test]
     fn larger_alpha_stops_interpolating() {
         let (x, mut y) = wavy_data(30, 0.0);
-        y[7] += 2.5; // inject an outlier
+        // inject an outlier
+        y[7] += 2.5;
         // A short length scale keeps the kernel matrix well conditioned so
         // near-zero alpha really interpolates.
         let mut sharp = GaussianProcess::new();

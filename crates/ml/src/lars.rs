@@ -61,7 +61,7 @@ impl Regressor for LeastAngle {
                 if active.contains(&j) {
                     continue;
                 }
-                if best.map_or(true, |(_, b)| c.abs() > b.abs()) {
+                if best.is_none_or(|(_, b)| c.abs() > b.abs()) {
                     best = Some((j, c));
                 }
             }
@@ -108,10 +108,7 @@ impl Regressor for LeastAngle {
                 if active.contains(&j) {
                     continue;
                 }
-                for cand in [
-                    (c_max - c) / (a_a - a),
-                    (c_max + c) / (a_a + a),
-                ] {
+                for cand in [(c_max - c) / (a_a - a), (c_max + c) / (a_a + a)] {
                     if cand > 1e-12 && cand < gamma {
                         gamma = cand;
                     }

@@ -150,8 +150,8 @@ impl Matrix {
                 if ri == 0.0 {
                     continue;
                 }
-                for j in i..self.cols {
-                    g.data[i * self.cols + j] += ri * row[j];
+                for (j, &rj) in row.iter().enumerate().skip(i) {
+                    g.data[i * self.cols + j] += ri * rj;
                 }
             }
         }
@@ -235,8 +235,8 @@ pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
     let mut y = vec![0.0; n];
     for i in 0..n {
         let mut s = b[i];
-        for k in 0..i {
-            s -= l.get(i, k) * y[k];
+        for (k, &yk) in y.iter().enumerate().take(i) {
+            s -= l.get(i, k) * yk;
         }
         y[i] = s / l.get(i, i);
     }
@@ -244,8 +244,8 @@ pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut s = y[i];
-        for k in i + 1..n {
-            s -= l.get(k, i) * x[k];
+        for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+            s -= l.get(k, i) * xk;
         }
         x[i] = s / l.get(i, i);
     }

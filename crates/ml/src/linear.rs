@@ -110,12 +110,15 @@ impl Regressor for BayesianRidge {
             let mut a = gram.clone();
             for i in 0..d {
                 for j in 0..d {
-                    a.set(i, j, beta * gram.get(i, j) + if i == j { alpha } else { 0.0 });
+                    a.set(
+                        i,
+                        j,
+                        beta * gram.get(i, j) + if i == j { alpha } else { 0.0 },
+                    );
                 }
             }
             let rhs: Vec<f64> = xty.iter().map(|&v| beta * v).collect();
-            let new_w =
-                solve_spd(&a, &rhs).ok_or_else(|| TrainError::new("singular posterior"))?;
+            let new_w = solve_spd(&a, &rhs).ok_or_else(|| TrainError::new("singular posterior"))?;
             // effective number of parameters (gamma) via trace approximation
             let w_norm2: f64 = new_w.iter().map(|v| v * v).sum();
             let preds = xs.matvec(&new_w);

@@ -216,7 +216,7 @@ impl DecisionTree {
                 let wyr = total_wy - wyl;
                 // score = between-group sum of squares (higher is better)
                 let score = wyl * wyl / wl + wyr * wyr / wr;
-                if best.map_or(true, |(_, _, s)| score > s) {
+                if best.is_none_or(|(_, _, s)| score > s) {
                     best = Some((f, (xv + xn) * 0.5, score));
                 }
             }

@@ -1,0 +1,20 @@
+//! Umbrella crate for the autoAx (DAC 2019) reproduction workspace.
+//!
+//! This package exists so that the repository-level integration tests
+//! (`tests/`) and runnable walkthroughs (`examples/`) have a Cargo home;
+//! the actual functionality lives in the member crates, re-exported here
+//! for convenience:
+//!
+//! * [`autoax`] — the three-step methodology (pre-processing, model
+//!   construction, model-based DSE) and the pipeline driver;
+//! * [`autoax_circuit`] — netlists, simulation, synthesis-lite and the
+//!   generated approximate-component library;
+//! * [`autoax_ml`] — from-scratch regression engines and fidelity;
+//! * [`autoax_image`] — images, synthetic benchmark suite, SSIM/PSNR;
+//! * [`autoax_accel`] — the three benchmark accelerators.
+
+pub use autoax;
+pub use autoax_accel;
+pub use autoax_circuit;
+pub use autoax_image;
+pub use autoax_ml;

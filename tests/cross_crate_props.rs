@@ -160,6 +160,70 @@ proptest! {
     }
 
     #[test]
+    fn exact_circuits_match_native_arithmetic(seed in any::<u64>()) {
+        // The exact (non-approximate) member of every operation class the
+        // library builds must agree with native integer arithmetic, both as
+        // a functional model and as a simulated netlist.
+        use autoax_circuit::util::mask;
+        use autoax_circuit::OpKind;
+        for sig in OpSignature::PAPER_CLASSES {
+            let b = Behavior::exact_for(sig);
+            let net = b.build_netlist();
+            let (wa, wb) = (sig.width_a as u32, sig.width_b as u32);
+            for (x, y) in autoax_circuit::util::stimulus_pairs(wa, wb, 32, seed) {
+                let native = match sig.kind {
+                    OpKind::Add => x + y,
+                    OpKind::Mul => x * y,
+                    OpKind::Sub => {
+                        (x.wrapping_sub(y)) & mask(sig.output_width() as u32)
+                    }
+                };
+                prop_assert_eq!(b.eval(x, y), native, "{} functional ({x}, {y})", sig);
+                prop_assert_eq!(
+                    eval_binop(&net, wa, wb, x, y),
+                    native,
+                    "{} netlist ({x}, {y})",
+                    sig
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_adders_match_native_addition_at_every_width(
+        w in 2u32..17,
+        seed in any::<u64>()
+    ) {
+        // Beyond the six paper classes: the adder generator is width-
+        // parametric, and its exact variant must be a true adder at any
+        // width the library could be configured to build.
+        let b = Behavior::Adder { w, kind: AdderKind::Exact };
+        let net = b.build_netlist();
+        for (x, y) in autoax_circuit::util::stimulus_pairs(w, w, 24, seed) {
+            prop_assert_eq!(eval_binop(&net, w, w, x, y), x + y, "w={} ({x}, {y})", w);
+        }
+    }
+
+    #[test]
+    fn exact_multipliers_match_native_multiplication_at_every_width(
+        wa in 2u32..9,
+        wb in 2u32..9,
+        seed in any::<u64>()
+    ) {
+        let b = Behavior::Multiplier { wa, wb, kind: MulKind::Exact };
+        let net = b.build_netlist();
+        for (x, y) in autoax_circuit::util::stimulus_pairs(wa, wb, 24, seed) {
+            prop_assert_eq!(
+                eval_binop(&net, wa, wb, x, y),
+                x * y,
+                "{}x{} ({x}, {y})",
+                wa,
+                wb
+            );
+        }
+    }
+
+    #[test]
     fn characterization_invariants_hold(count in 6usize..14) {
         let cfg = LibraryConfig::tiny();
         let entries = build_class(OpSignature::SUB10, count, &cfg, count as u64);

@@ -25,6 +25,30 @@ fn images() -> Vec<GrayImage> {
 }
 
 #[test]
+fn pipeline_smoke_quick_tiny() {
+    // The fastest meaningful end-to-end run: quick budgets on the tiny
+    // library must yield a non-empty final front and a sane fidelity
+    // report (fidelity is a probability of order agreement, so in [0, 1]).
+    let lib = tiny_lib();
+    let imgs = images();
+    let res = run_pipeline(&SobelEd::new(), &lib, &imgs, &PipelineOptions::quick())
+        .expect("quick pipeline on tiny library");
+    assert!(!res.final_front.is_empty(), "final Pareto front is empty");
+    let f = &res.fidelity;
+    for (name, v) in [
+        ("qor_train", f.qor_train),
+        ("qor_test", f.qor_test),
+        ("hw_train", f.hw_train),
+        ("hw_test", f.hw_test),
+    ] {
+        assert!(
+            (0.0..=1.0).contains(&v),
+            "fidelity {name} out of [0,1]: {v}"
+        );
+    }
+}
+
+#[test]
 fn full_pipeline_on_all_three_accelerators() {
     let lib = tiny_lib();
     let imgs = images();
@@ -80,13 +104,7 @@ fn real_evaluation_orders_aggressiveness() {
     let ev = Evaluator::new(&accel, &lib, &pre.space, &imgs);
     let exact = ev.evaluate(&pre.space.exact());
     assert!((exact.ssim - 1.0).abs() < 1e-9);
-    let worst = autoax::Configuration(
-        pre.space
-            .sizes()
-            .iter()
-            .map(|&n| (n - 1) as u16)
-            .collect(),
-    );
+    let worst = autoax::Configuration(pre.space.sizes().iter().map(|&n| (n - 1) as u16).collect());
     let w = ev.evaluate(&worst);
     assert!(w.ssim < exact.ssim);
     assert!(w.hw.area < exact.hw.area);
