@@ -6,7 +6,7 @@
 use autoax_circuit::approx::Behavior;
 use autoax_circuit::sim::exhaustive_outputs;
 use autoax_circuit::{CircuitEntry, Netlist, OpSignature};
-use autoax_image::ssim::mean_ssim;
+use autoax_image::ssim::ssim;
 use autoax_image::GrayImage;
 use std::sync::Arc;
 
@@ -239,21 +239,28 @@ pub trait Accelerator: Send + Sync {
     /// Quality of result: mean SSIM of the approximate outputs against the
     /// exact outputs over all images and modes (the paper's QoR measure;
     /// for the generic GF this is the "average SSIM" over 50 kernels).
+    ///
+    /// Deliberately sequential: on the hot path this runs *under* the
+    /// parallel `evaluate_batch` (one task per configuration), so nesting
+    /// another fan-out here would oversubscribe the workers.
     fn qor(&self, images: &[GrayImage], golden: &[Vec<GrayImage>], ops: &OpSet) -> f64 {
-        let mut approx = Vec::with_capacity(images.len() * self.mode_count());
-        let mut exact = Vec::with_capacity(images.len() * self.mode_count());
+        let mut sum = 0.0;
+        let mut n = 0usize;
         for (img, gold) in images.iter().zip(golden.iter()) {
             for (mode, g) in gold.iter().enumerate() {
-                approx.push(self.run(img, ops, mode));
-                exact.push(g.clone());
+                sum += ssim(&self.run(img, ops, mode), g);
+                n += 1;
             }
         }
-        mean_ssim(&approx, &exact)
+        assert!(n > 0, "qor needs at least one image and mode");
+        sum / n as f64
     }
 
-    /// Precomputes the golden outputs for [`Accelerator::qor`].
+    /// Precomputes the golden outputs for [`Accelerator::qor`], one
+    /// parallel task per image (coarse-grained: a task renders every mode
+    /// of a whole image).
     fn golden(&self, images: &[GrayImage]) -> Vec<Vec<GrayImage>> {
-        images.iter().map(|img| self.run_exact(img)).collect()
+        autoax_exec::par_map_coarse(images, |img| self.run_exact(img))
     }
 }
 

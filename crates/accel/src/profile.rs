@@ -88,6 +88,14 @@ impl Pmf {
         grid
     }
 
+    /// Merges another distribution into this one (summing counts).
+    pub fn absorb(&mut self, other: Pmf) {
+        for (k, c) in other.counts {
+            *self.counts.entry(k).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
     /// Fraction of probability mass within `band` of the diagonal
     /// (`|a - b| <= band`) — the quantitative form of Fig. 3's visual
     /// "operand values are typically very close".
@@ -113,30 +121,48 @@ impl OpObserver for PmfRecorder {
     }
 }
 
-/// Profiles an accelerator on benchmark images: runs the exact software
-/// model over every image (and every mode) and returns one [`Pmf`] per
-/// slot.
-pub fn profile(accel: &dyn Accelerator, images: &[GrayImage]) -> Vec<Pmf> {
+/// Profiles an accelerator on one image: runs the exact software model
+/// over every mode and returns one [`Pmf`] per slot.
+fn profile_image(accel: &dyn Accelerator, exact: &OpSet, img: &GrayImage) -> Vec<Pmf> {
     let mut rec = PmfRecorder {
         pmfs: (0..accel.slots().len()).map(|_| Pmf::new()).collect(),
     };
-    let exact = OpSet::exact_slots(accel.slots());
-    for img in images {
-        for mode in 0..accel.mode_count() {
-            for y in 0..img.height() as isize {
-                for x in 0..img.width() as isize {
-                    let mut n = [0u8; 9];
-                    for dy in -1..=1 {
-                        for dx in -1..=1 {
-                            n[(3 * (dy + 1) + dx + 1) as usize] = img.get_clamped(x + dx, y + dy);
-                        }
+    for mode in 0..accel.mode_count() {
+        for y in 0..img.height() as isize {
+            for x in 0..img.width() as isize {
+                let mut n = [0u8; 9];
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        n[(3 * (dy + 1) + dx + 1) as usize] = img.get_clamped(x + dx, y + dy);
                     }
-                    let _ = accel.kernel(mode, &n, &exact, &mut rec);
                 }
+                let _ = accel.kernel(mode, &n, exact, &mut rec);
             }
         }
     }
     rec.pmfs
+}
+
+/// Profiles an accelerator on benchmark images: runs the exact software
+/// model over every image (and every mode) and returns one [`Pmf`] per
+/// slot.
+///
+/// Images are profiled in parallel through the execution layer's chunked
+/// map-reduce; the per-image counts merge commutatively, so the result is
+/// identical at any thread count.
+pub fn profile(accel: &dyn Accelerator, images: &[GrayImage]) -> Vec<Pmf> {
+    let exact = OpSet::exact_slots(accel.slots());
+    autoax_exec::map_reduce(
+        images,
+        |img| profile_image(accel, &exact, img),
+        |mut acc, next| {
+            for (a, b) in acc.iter_mut().zip(next) {
+                a.absorb(b);
+            }
+            acc
+        },
+    )
+    .unwrap_or_else(|| (0..accel.slots().len()).map(|_| Pmf::new()).collect())
 }
 
 #[cfg(test)]
@@ -177,6 +203,44 @@ mod tests {
         p.add(0, 200);
         p.add(5, 100);
         assert!((p.diagonal_mass(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_merges_counts_and_totals() {
+        let mut a = Pmf::new();
+        a.add(1, 2);
+        a.add(1, 2);
+        let mut b = Pmf::new();
+        b.add(1, 2);
+        b.add(3, 4);
+        a.absorb(b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.support_len(), 2);
+        assert!((a.prob(1, 2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_profile_equals_per_image_merge() {
+        use crate::sobel::SobelEd;
+        let accel = SobelEd::new();
+        let images = autoax_image::synthetic::benchmark_suite(3, 24, 16, 9);
+        let par = profile(&accel, &images);
+        // reference: profile each image alone and merge in order
+        let mut seq: Vec<Pmf> = (0..accel.slots().len()).map(|_| Pmf::new()).collect();
+        for img in &images {
+            let one = profile(&accel, std::slice::from_ref(img));
+            for (a, b) in seq.iter_mut().zip(one) {
+                a.absorb(b);
+            }
+        }
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(seq.iter()) {
+            assert_eq!(p.total(), s.total());
+            assert_eq!(p.support_len(), s.support_len());
+            for (k, prob) in p.iter() {
+                assert!((prob - s.prob(k.0, k.1)).abs() < 1e-12, "{k:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,12 +1,20 @@
-//! Criterion bench: throughput of the Pareto-construction algorithms
-//! (Algorithm 1 and random sampling) per model evaluation — the paper runs
-//! 10⁶ iterations in 3 hours including model calls.
+//! Criterion bench: throughput of the Pareto-construction algorithms per
+//! model evaluation — the paper runs 10⁵ (Sobel) to 10⁶ (GF) estimates per
+//! search, which makes this the Step-3 hot path.
+//!
+//! Compares the **scalar** baseline (the paper-literal sequential
+//! Algorithm 1, one `predict_row` per candidate) against the **batched
+//! island** search (`heuristic_pareto`: candidates proposed in rounds,
+//! estimated through one batched prediction per model, islands spread
+//! across `AUTOAX_THREADS` workers). The scalar/batched ratio is the
+//! speedup reported in CHANGES.md; on a multi-core host it scales with
+//! the core count.
 
 use autoax::evaluate::Evaluator;
-use autoax::model::{fit_models, EvaluatedSet};
+use autoax::model::{fit_models, EvaluatedSet, ModelEstimator};
 use autoax::pareto::TradeoffPoint;
 use autoax::preprocess::{preprocess, PreprocessOptions};
-use autoax::search::{heuristic_pareto, random_sampling, SearchOptions};
+use autoax::search::{heuristic_pareto, heuristic_pareto_scalar, random_sampling, SearchOptions};
 use autoax::Configuration;
 use autoax_accel::sobel::SobelEd;
 use autoax_circuit::charlib::{build_library, LibraryConfig};
@@ -23,40 +31,58 @@ fn bench_search(c: &mut Criterion) {
     let evaluator = Evaluator::new(&accel, &lib, &pre.space, &images);
     let train = EvaluatedSet::generate(&evaluator, &pre.space, 60, 1);
     let models = fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit");
-    let estimator = |cfg: &Configuration| {
+    // Scalar path: one feature encode + one predict_row per candidate.
+    let scalar_estimator = |cfg: &Configuration| {
         let (q, hw) = models.estimate(&pre.space, &lib, cfg);
         TradeoffPoint::new(q, hw)
     };
+    // Batched path: one matrix + one predict per model per round.
+    let batched_estimator = ModelEstimator::new(&models, &pre.space, &lib);
 
-    let evals = 2000usize;
+    // A paper_sobel-sized run (10⁵ estimates), few samples: each sample is
+    // a full search.
+    let evals = 100_000usize;
+    let opts = SearchOptions {
+        max_evals: evals,
+        stagnation_limit: 50,
+        seed: 3,
+        ..SearchOptions::default()
+    };
+    println!(
+        "search_throughput: {} worker threads ({}={:?})",
+        autoax_exec::thread_count(),
+        autoax_exec::THREADS_ENV,
+        std::env::var(autoax_exec::THREADS_ENV).ok(),
+    );
     let mut group = c.benchmark_group("pareto_construction");
-    group.sample_size(10);
+    group.sample_size(3);
     group.throughput(Throughput::Elements(evals as u64));
-    group.bench_function("algorithm1_hill_climbing", |b| {
+    group.bench_function("algorithm1_scalar_baseline", |b| {
         b.iter(|| {
-            black_box(heuristic_pareto(
+            black_box(heuristic_pareto_scalar(
                 &pre.space,
-                &estimator,
+                &scalar_estimator,
+                &opts,
+            ))
+        })
+    });
+    group.bench_function("algorithm1_island_batched", |b| {
+        b.iter(|| black_box(heuristic_pareto(&pre.space, &batched_estimator, &opts)))
+    });
+    group.bench_function("random_sampling_scalar", |b| {
+        b.iter(|| {
+            black_box(random_sampling(
+                &pre.space,
+                &scalar_estimator,
                 &SearchOptions {
-                    max_evals: evals,
-                    stagnation_limit: 50,
-                    seed: 3,
+                    batch_size: 1,
+                    ..opts
                 },
             ))
         })
     });
-    group.bench_function("random_sampling", |b| {
-        b.iter(|| {
-            black_box(random_sampling(
-                &pre.space,
-                &estimator,
-                &SearchOptions {
-                    max_evals: evals,
-                    stagnation_limit: 50,
-                    seed: 3,
-                },
-            ))
-        })
+    group.bench_function("random_sampling_batched", |b| {
+        b.iter(|| black_box(random_sampling(&pre.space, &batched_estimator, &opts)))
     });
     group.finish();
 }

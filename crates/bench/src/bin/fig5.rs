@@ -111,6 +111,7 @@ fn main() {
             max_evals: search_evals,
             stagnation_limit: 50,
             seed: 11,
+            ..SearchOptions::default()
         };
         // proposed: Algorithm 1 on models, then real evaluation
         let hill = heuristic_pareto(&pre.space, &estimator, &opts);

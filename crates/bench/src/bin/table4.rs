@@ -94,6 +94,7 @@ fn main() {
                 max_evals: budget,
                 stagnation_limit: 50,
                 seed: 7,
+                ..SearchOptions::default()
             };
             let front = if is_hill {
                 heuristic_pareto(&pre.space, &estimator, &opts)

@@ -22,8 +22,9 @@ use crate::error::{ErrorMetrics, ErrorStats};
 use crate::netlist::Netlist;
 use crate::sim;
 use crate::synth::{self, HwReport};
-use crate::util::{mask, par_map, splitmix64, stimulus_pairs};
+use crate::util::{mask, splitmix64, stimulus_pairs};
 use crate::{OpKind, OpSignature};
+use autoax_exec::par_map;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 

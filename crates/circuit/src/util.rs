@@ -1,5 +1,8 @@
-//! Small shared helpers: bit masks, deterministic stimulus generation and a
-//! std-only parallel map used by library characterization.
+//! Small shared helpers: bit masks and deterministic stimulus generation.
+//!
+//! The parallel map that used to live here moved to the dedicated
+//! execution-layer crate ([`autoax_exec::par_map`]) so every layer of the
+//! stack (circuit, ml, core, accel) can share one thread-count knob.
 
 /// Returns a mask with the lowest `w` bits set (`w == 64` returns all ones).
 ///
@@ -53,41 +56,6 @@ pub fn stimulus_pairs(wa: u32, wb: u32, n: usize, seed: u64) -> Vec<(u64, u64)> 
     out
 }
 
-/// Maps `f` over `items` in parallel using scoped std threads.
-///
-/// Used for embarrassingly parallel characterization loops; results are in
-/// input order. Falls back to sequential execution for small inputs.
-pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if items.len() < 32 || threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut results: Vec<Option<Vec<U>>> = Vec::new();
-    results.resize_with(items.len().div_ceil(chunk), || None);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut handles = Vec::new();
-        for (ci, part) in items.chunks(chunk).enumerate() {
-            handles.push((
-                ci,
-                scope.spawn(move || part.iter().map(f).collect::<Vec<U>>()),
-            ));
-        }
-        for (ci, h) in handles {
-            results[ci] = Some(h.join().expect("par_map worker panicked"));
-        }
-    });
-    results.into_iter().flatten().flatten().collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,19 +86,5 @@ mod tests {
         }
         let p3 = stimulus_pairs(8, 8, 1000, 4);
         assert_ne!(p1, p3);
-    }
-
-    #[test]
-    fn par_map_matches_sequential() {
-        let items: Vec<u64> = (0..1000).collect();
-        let par = par_map(&items, |x| x * 3 + 1);
-        let seq: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
-        assert_eq!(par, seq);
-    }
-
-    #[test]
-    fn par_map_small_input() {
-        let items = vec![1u32, 2, 3];
-        assert_eq!(par_map(&items, |x| x + 1), vec![2, 3, 4]);
     }
 }

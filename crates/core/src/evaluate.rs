@@ -103,9 +103,11 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Evaluates a batch of configurations in parallel.
+    /// Evaluates a batch of configurations in parallel (coarse-grained:
+    /// each task is a full simulation + synthesis, so fan-out pays from
+    /// two configurations up).
     pub fn evaluate_batch(&self, configs: &[Configuration]) -> Vec<RealEval> {
-        autoax_circuit::util::par_map(configs, |c| self.evaluate(c))
+        autoax_exec::par_map_coarse(configs, |c| self.evaluate(c))
     }
 }
 

@@ -50,13 +50,22 @@ pub struct EvaluatedSet {
 
 impl EvaluatedSet {
     /// Generates `n` random configurations and fully evaluates them.
+    ///
+    /// Prefers distinct configurations; duplicates are accepted when the
+    /// space is small relative to `n` (fewer than `2n` configurations) or
+    /// after an attempt cap, so a run of unlucky rejections can never spin
+    /// the sampling loop forever.
     pub fn generate(evaluator: &Evaluator<'_>, space: &ConfigSpace, n: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut configs = Vec::with_capacity(n);
         let mut seen = std::collections::HashSet::new();
+        let small_space = space.size() < (2 * n) as f64;
+        let max_attempts = n.saturating_mul(64).saturating_add(1024);
+        let mut attempts = 0usize;
         while configs.len() < n {
             let c = space.random(&mut rng);
-            if seen.insert(c.clone()) || space.size() < (2 * n) as f64 {
+            attempts += 1;
+            if seen.insert(c.clone()) || small_space || attempts > max_attempts {
                 configs.push(c);
             }
         }
@@ -115,6 +124,71 @@ impl FittedModels {
             self.qor.predict_row(&qor_features(space, c)),
             self.hw.predict_row(&hw_features(space, lib, c)),
         )
+    }
+
+    /// Estimates a batch of configurations with one batched prediction
+    /// per model: all features are encoded into a single [`Matrix`] and
+    /// [`Regressor::predict`] runs once for QoR and once for hardware —
+    /// amortizing feature construction and dynamic dispatch, and letting
+    /// the ML layer parallelize across rows.
+    ///
+    /// Per-configuration results are bitwise identical to
+    /// [`FittedModels::estimate`].
+    pub fn estimate_batch(
+        &self,
+        space: &ConfigSpace,
+        lib: &ComponentLibrary,
+        configs: &[Configuration],
+    ) -> Vec<(f64, f64)> {
+        if configs.is_empty() {
+            return Vec::new();
+        }
+        let qor_rows: Vec<Vec<f64>> = configs.iter().map(|c| qor_features(space, c)).collect();
+        let hw_rows: Vec<Vec<f64>> = configs.iter().map(|c| hw_features(space, lib, c)).collect();
+        let q = self.qor.predict(&Matrix::from_rows(&qor_rows));
+        let h = self.hw.predict(&Matrix::from_rows(&hw_rows));
+        q.into_iter().zip(h).collect()
+    }
+}
+
+/// [`crate::search::Estimator`] adapter over fitted models: the glue
+/// between Step 2 (model construction) and Step 3 (model-based DSE). Its
+/// batched path — the one the island search drives — is
+/// [`FittedModels::estimate_batch`], so there is exactly one batched
+/// feature-encoding implementation to keep consistent with the scalar
+/// [`qor_features`]/[`hw_features`] path.
+pub struct ModelEstimator<'a> {
+    /// The fitted QoR and hardware models.
+    pub models: &'a FittedModels,
+    /// The (reduced) configuration space being searched.
+    pub space: &'a ConfigSpace,
+    /// The component library backing hardware features.
+    pub lib: &'a ComponentLibrary,
+}
+
+impl<'a> ModelEstimator<'a> {
+    /// Creates the adapter.
+    pub fn new(
+        models: &'a FittedModels,
+        space: &'a ConfigSpace,
+        lib: &'a ComponentLibrary,
+    ) -> Self {
+        ModelEstimator { models, space, lib }
+    }
+}
+
+impl crate::search::Estimator for ModelEstimator<'_> {
+    fn estimate(&self, c: &Configuration) -> crate::pareto::TradeoffPoint {
+        let (q, hw) = self.models.estimate(self.space, self.lib, c);
+        crate::pareto::TradeoffPoint::new(q, hw)
+    }
+
+    fn estimate_batch(&self, configs: &[Configuration]) -> Vec<crate::pareto::TradeoffPoint> {
+        self.models
+            .estimate_batch(self.space, self.lib, configs)
+            .into_iter()
+            .map(|(q, hw)| crate::pareto::TradeoffPoint::new(q, hw))
+            .collect()
     }
 }
 
@@ -264,6 +338,92 @@ mod tests {
         let expect: f64 = -qor_features(&s.pre.space, &c).iter().sum::<f64>();
         let (q, _) = naive.estimate(&s.pre.space, &s.lib, &c);
         assert_eq!(q, expect);
+    }
+
+    #[test]
+    fn estimate_batch_is_bitwise_identical_for_every_engine() {
+        // Property: batch estimation == per-row estimation, for every
+        // learning engine of Table 3 and the naive models, over random
+        // configurations.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = setup();
+        let ev = Evaluator::new(&s.accel, &s.lib, &s.pre.space, &s.images);
+        let train = EvaluatedSet::generate(&ev, &s.pre.space, 40, 1);
+        let mut rng = StdRng::seed_from_u64(99);
+        let configs: Vec<Configuration> = (0..33).map(|_| s.pre.space.random(&mut rng)).collect();
+        let mut all_models: Vec<(String, FittedModels)> =
+            vec![("Naive".into(), naive_models(&s.pre.space))];
+        for kind in EngineKind::ALL {
+            let models = fit_models(kind, &s.pre.space, &s.lib, &train, 7)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            all_models.push((kind.name().into(), models));
+        }
+        for (name, models) in &all_models {
+            let batch = models.estimate_batch(&s.pre.space, &s.lib, &configs);
+            assert_eq!(batch.len(), configs.len(), "{name}: wrong batch length");
+            for (c, (bq, bh)) in configs.iter().zip(batch.iter()) {
+                let (q, h) = models.estimate(&s.pre.space, &s.lib, c);
+                assert_eq!(q.to_bits(), bq.to_bits(), "{name}: qor diverged on {c:?}");
+                assert_eq!(h.to_bits(), bh.to_bits(), "{name}: hw diverged on {c:?}");
+            }
+        }
+        // empty batch is a no-op, not a panic
+        assert!(all_models[0]
+            .1
+            .estimate_batch(&s.pre.space, &s.lib, &[])
+            .is_empty());
+    }
+
+    #[test]
+    fn model_estimator_batch_matches_scalar_trait_path() {
+        use crate::search::Estimator;
+        let s = setup();
+        let ev = Evaluator::new(&s.accel, &s.lib, &s.pre.space, &s.images);
+        let train = EvaluatedSet::generate(&ev, &s.pre.space, 40, 2);
+        let models = fit_models(EngineKind::RandomForest, &s.pre.space, &s.lib, &train, 3).unwrap();
+        let est = ModelEstimator::new(&models, &s.pre.space, &s.lib);
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let configs: Vec<Configuration> = (0..17).map(|_| s.pre.space.random(&mut rng)).collect();
+        let batch = est.estimate_batch(&configs);
+        for (c, b) in configs.iter().zip(batch.iter()) {
+            let one = est.estimate(c);
+            assert_eq!(one.qor.to_bits(), b.qor.to_bits());
+            assert_eq!(one.cost.to_bits(), b.cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn generate_terminates_when_uniques_are_scarce() {
+        // A space truncated to 2 members per slot has exactly 2^5 = 32
+        // configurations; asking for n = 16 keeps the duplicate-rejection
+        // path active (size >= 2n) while uniques are scarce. The attempt
+        // cap guarantees termination regardless of sampling luck.
+        let s = setup();
+        let tiny = ConfigSpace::new(
+            s.pre
+                .space
+                .slots()
+                .iter()
+                .map(|sl| crate::config::SlotChoices {
+                    name: sl.name.clone(),
+                    signature: sl.signature,
+                    members: sl.members.iter().take(2).copied().collect(),
+                })
+                .collect(),
+        );
+        let ev = Evaluator::new(&s.accel, &s.lib, &tiny, &s.images);
+        let n = (tiny.size() / 2.0) as usize;
+        let set = EvaluatedSet::generate(&ev, &tiny, n, 11);
+        assert_eq!(set.configs.len(), n);
+        assert_eq!(set.evals.len(), n);
+        // distinct configurations preferred while they last
+        let mut dedup = set.configs.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), n, "cap must not kick in on an easy space");
     }
 
     #[test]

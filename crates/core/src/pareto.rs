@@ -19,10 +19,21 @@ impl TradeoffPoint {
 
     /// True if `self` Pareto-dominates `other`: no worse in both
     /// objectives and strictly better in at least one.
+    ///
+    /// A point with a NaN coordinate is incomparable: it neither dominates
+    /// nor is dominated (every comparison is false). Fronts therefore
+    /// refuse non-finite points at insertion — see
+    /// [`ParetoFront::try_insert`] — because an incomparable member would
+    /// silently pollute the set.
     pub fn dominates(&self, other: &TradeoffPoint) -> bool {
         self.qor >= other.qor
             && self.cost <= other.cost
             && (self.qor > other.qor || self.cost < other.cost)
+    }
+
+    /// True when both coordinates are finite (no NaN, no infinities).
+    pub fn is_finite(&self) -> bool {
+        self.qor.is_finite() && self.cost.is_finite()
     }
 }
 
@@ -46,7 +57,16 @@ impl<T> ParetoFront<T> {
     /// Point-identical candidates are rejected so that revisiting a
     /// configuration (or finding another with the same estimates) does not
     /// grow the set — matching the paper's insert-on-domination semantics.
+    ///
+    /// Non-finite candidates (a degenerate model can emit NaN) are
+    /// rejected outright: NaN is incomparable under
+    /// [`TradeoffPoint::dominates`] and would pollute the front. Debug
+    /// builds assert; release builds skip silently.
     pub fn try_insert(&mut self, p: TradeoffPoint, payload: T) -> bool {
+        if !p.is_finite() {
+            debug_assert!(p.is_finite(), "non-finite trade-off point {p:?}");
+            return false;
+        }
         if self
             .points
             .iter()
@@ -192,7 +212,15 @@ impl<T> ParetoFront3<T> {
     }
 
     /// Inserts iff non-dominated; removes newly dominated members.
+    ///
+    /// Like [`ParetoFront::try_insert`], non-finite coordinates are
+    /// rejected (debug assertion, release skip).
     pub fn try_insert(&mut self, qor: f64, cost_a: f64, cost_b: f64, payload: T) -> bool {
+        let finite = qor.is_finite() && cost_a.is_finite() && cost_b.is_finite();
+        if !finite {
+            debug_assert!(finite, "non-finite objectives ({qor}, {cost_a}, {cost_b})");
+            return false;
+        }
         let p = [qor, cost_a, cost_b];
         let dom = |a: &[f64; 3], b: &[f64; 3]| {
             a[0] >= b[0]
@@ -246,6 +274,56 @@ mod tests {
         assert!(a.dominates(&b));
         assert!(!b.dominates(&a));
         assert!(!a.dominates(&c), "equal points do not dominate");
+    }
+
+    #[test]
+    fn nan_points_are_incomparable() {
+        let nan = TradeoffPoint::new(f64::NAN, 1.0);
+        let ok = TradeoffPoint::new(0.5, 1.0);
+        assert!(!nan.dominates(&ok));
+        assert!(!ok.dominates(&nan));
+        assert!(!nan.is_finite());
+        assert!(!TradeoffPoint::new(0.5, f64::INFINITY).is_finite());
+        assert!(ok.is_finite());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite trade-off point")]
+    fn nan_insert_asserts_in_debug() {
+        let mut f = ParetoFront::new();
+        f.try_insert(TradeoffPoint::new(f64::NAN, 1.0), ());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn nan_insert_is_skipped_in_release() {
+        let mut f = ParetoFront::new();
+        assert!(!f.try_insert(TradeoffPoint::new(f64::NAN, 1.0), "nan"));
+        assert!(!f.try_insert(TradeoffPoint::new(1.0, f64::NAN), "nan"));
+        assert!(!f.try_insert(TradeoffPoint::new(f64::INFINITY, 1.0), "inf"));
+        assert!(f.is_empty());
+        // the front still works for finite points afterwards
+        assert!(f.try_insert(TradeoffPoint::new(0.9, 10.0), "ok"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite objectives")]
+    fn nan_insert3_asserts_in_debug() {
+        let mut f = ParetoFront3::new();
+        f.try_insert(0.9, f64::NAN, 1.0, ());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn nan_insert3_is_skipped_in_release() {
+        let mut f = ParetoFront3::new();
+        assert!(!f.try_insert(0.9, f64::NAN, 1.0, ()));
+        assert!(!f.try_insert(f64::NEG_INFINITY, 1.0, 1.0, ()));
+        assert!(f.is_empty());
+        assert!(f.try_insert(0.9, 1.0, 1.0, ()));
     }
 
     #[test]

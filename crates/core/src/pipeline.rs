@@ -5,7 +5,9 @@
 use crate::config::Configuration;
 use crate::error::AutoAxError;
 use crate::evaluate::{Evaluator, RealEval};
-use crate::model::{fidelity_report, fit_models, EvaluatedSet, FidelityReport, FittedModels};
+use crate::model::{
+    fidelity_report, fit_models, EvaluatedSet, FidelityReport, FittedModels, ModelEstimator,
+};
 use crate::pareto::{ParetoFront, ParetoFront3, TradeoffPoint};
 use crate::preprocess::{preprocess, PreprocessOptions, Preprocessed};
 use crate::search::{heuristic_pareto, SearchOptions};
@@ -31,6 +33,16 @@ pub struct PipelineOptions {
     pub search_evals: usize,
     /// Stagnation restart threshold (paper: 50).
     pub stagnation_limit: usize,
+    /// Independent islands of the parallel Algorithm 1 (semantic knob:
+    /// changes the trajectory deterministically).
+    pub search_islands: usize,
+    /// Estimation batch granularity of the search (throughput knob: never
+    /// changes results).
+    pub search_batch: usize,
+    /// Worker threads for the search; `0` = execution-layer default
+    /// (`AUTOAX_THREADS` / available parallelism). Throughput knob: never
+    /// changes results.
+    pub search_threads: usize,
     /// Cap on the number of pseudo-Pareto members that get the full real
     /// evaluation (the paper evaluates ~1000 in 3 h).
     pub final_eval_cap: usize,
@@ -48,6 +60,9 @@ impl PipelineOptions {
             test_configs: 1500,
             search_evals: 100_000,
             stagnation_limit: 50,
+            search_islands: SearchOptions::default().islands,
+            search_batch: SearchOptions::default().batch_size,
+            search_threads: 0,
             final_eval_cap: 1000,
             seed: 42,
         }
@@ -72,6 +87,9 @@ impl PipelineOptions {
             test_configs: 30,
             search_evals: 3000,
             stagnation_limit: 50,
+            search_islands: 4,
+            search_batch: SearchOptions::default().batch_size,
+            search_threads: 0,
             final_eval_cap: 40,
             seed: 42,
         }
@@ -89,6 +107,9 @@ pub struct PipelineTimings {
     pub model_fit: Duration,
     /// Algorithm 1 search.
     pub search: Duration,
+    /// Search estimate throughput: model evaluations per second of wall
+    /// clock (`search_evals / search`).
+    pub search_evals_per_sec: f64,
     /// Real evaluation of the pseudo-Pareto set.
     pub final_eval: Duration,
 }
@@ -171,12 +192,10 @@ pub fn run_pipeline(
     let fidelity = fidelity_report(&models, &pre.space, lib, &train, &test);
     let t_fit = t2.elapsed();
 
-    // Step 3a: model-based Pareto construction (Algorithm 1).
+    // Step 3a: model-based Pareto construction (batched island
+    // Algorithm 1 over the fitted models).
     let t3 = Instant::now();
-    let estimator = |c: &Configuration| {
-        let (q, hw) = models.estimate(&pre.space, lib, c);
-        TradeoffPoint::new(q, hw)
-    };
+    let estimator = ModelEstimator::new(&models, &pre.space, lib);
     let pseudo_front = heuristic_pareto(
         &pre.space,
         &estimator,
@@ -184,9 +203,13 @@ pub fn run_pipeline(
             max_evals: opts.search_evals,
             stagnation_limit: opts.stagnation_limit,
             seed: opts.seed.wrapping_add(2),
+            islands: opts.search_islands,
+            batch_size: opts.search_batch,
+            threads: opts.search_threads,
         },
     );
     let t_search = t3.elapsed();
+    let search_evals_per_sec = opts.search_evals as f64 / t_search.as_secs_f64().max(1e-12);
 
     // Step 3b: real evaluation of the pseudo-Pareto set (capped), final
     // Pareto filtering on real SSIM, area and energy.
@@ -243,6 +266,7 @@ pub fn run_pipeline(
             training_data: t_train_data,
             model_fit: t_fit,
             search: t_search,
+            search_evals_per_sec,
             final_eval: t_final,
         },
     })

@@ -69,6 +69,7 @@ mod tests {
                 max_evals: 20_000,
                 stagnation_limit: 30,
                 seed: 1,
+                ..SearchOptions::default()
             },
         );
         let d = crate::pareto::front_distances(&heuristic.points(), &optimal.points());

@@ -14,12 +14,54 @@
 //!
 //! Stagnation means the parent has not changed for `stagnation_limit`
 //! successive iterations (the paper uses k = 50).
+//!
+//! # Parallel island search
+//!
+//! The paper runs 10⁵ (Sobel) to 10⁶ (GF) estimates per search, which
+//! makes estimation throughput the Step-3 bottleneck. [`heuristic_pareto`]
+//! therefore runs a **multi-start island** variant: `islands` independent
+//! copies of Algorithm 1, each with its own RNG stream derived from the
+//! master seed, executed on scoped worker threads. Each island proposes
+//! candidates in fixed-size *rounds* — every candidate of a round is a
+//! neighbour of the island's current parent, generated before any of the
+//! round's estimates are consumed — so the round can be estimated with one
+//! batched [`Estimator::estimate_batch`] call and then replayed through
+//! the sequential `ParetoInsert` logic above.
+//!
+//! At fixed synchronization epochs the island fronts are merged into the
+//! global front **in island order**, and the merged front is shared back,
+//! so stagnation restarts in later epochs draw from the best points found
+//! anywhere. Determinism guarantees:
+//!
+//! * results are a pure function of `(seed, max_evals, stagnation_limit,
+//!   islands)`;
+//! * the worker-thread count ([`SearchOptions::threads`] /
+//!   `AUTOAX_THREADS`) never changes the result — islands are
+//!   deterministic in isolation and merged in island order;
+//! * the estimation batch granularity ([`SearchOptions::batch_size`])
+//!   never changes the result — a round's candidates are fixed before
+//!   estimation, and batch estimates are bitwise equal to per-row
+//!   estimates.
+//!
+//! The pre-island sequential loop is kept as
+//! [`heuristic_pareto_scalar`] — the baseline the `search_throughput`
+//! bench compares against.
 
 use super::Estimator;
 use crate::config::{ConfigSpace, Configuration};
 use crate::pareto::ParetoFront;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Candidates proposed per island round (one batched estimation per
+/// round). Fixed — not a tuning knob — so that search results depend only
+/// on the semantic options, never on execution-layer configuration.
+const ROUND: usize = 32;
+
+/// Number of island synchronization epochs per search: after each epoch
+/// the island fronts merge into the global front (in island order) and the
+/// merged front is shared back for the next epoch's restarts.
+const SYNC_EPOCHS: usize = 4;
 
 /// Search budget and behaviour knobs.
 #[derive(Debug, Clone, Copy)]
@@ -30,6 +72,16 @@ pub struct SearchOptions {
     pub stagnation_limit: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Independent search islands (semantic knob: changes the trajectory,
+    /// deterministically). The eval budget is split evenly across islands.
+    pub islands: usize,
+    /// Maximum configurations per [`Estimator::estimate_batch`] call.
+    /// Pure throughput knob — any value produces identical results.
+    pub batch_size: usize,
+    /// Worker threads for the island search; `0` = the execution layer's
+    /// default ([`autoax_exec::thread_count`]). Pure throughput knob —
+    /// any value produces identical results.
+    pub threads: usize,
 }
 
 impl Default for SearchOptions {
@@ -38,12 +90,164 @@ impl Default for SearchOptions {
             max_evals: 100_000,
             stagnation_limit: 50,
             seed: 0,
+            islands: 8,
+            batch_size: ROUND,
+            threads: 0,
         }
     }
 }
 
-/// Runs Algorithm 1 and returns the pseudo-Pareto set.
+/// Per-island search state carried across rounds and epochs.
+struct Island {
+    rng: StdRng,
+    parent: Configuration,
+    stagnation: usize,
+    front: ParetoFront<Configuration>,
+    /// Remaining eval budget over the whole search.
+    budget: usize,
+    /// Evals to spend in the current epoch.
+    epoch_budget: usize,
+}
+
+/// SplitMix64-style per-island seed derivation: decorrelates the island
+/// RNG streams from each other and from the master seed.
+fn island_seed(master: u64, island: u64) -> u64 {
+    let mut z = master ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(island.wrapping_add(1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Island {
+    fn new(space: &ConfigSpace, seed: u64, budget: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parent = space.random(&mut rng);
+        Island {
+            rng,
+            parent,
+            stagnation: 0,
+            front: ParetoFront::new(),
+            budget,
+            epoch_budget: 0,
+        }
+    }
+
+    /// Runs `epoch_budget` evaluations in rounds of [`ROUND`] candidates.
+    fn run_epoch(&mut self, space: &ConfigSpace, estimator: &impl Estimator, opts: &SearchOptions) {
+        let limit = opts.stagnation_limit.max(1);
+        let chunk = opts.batch_size.max(1);
+        let mut remaining = self.epoch_budget;
+        while remaining > 0 {
+            let r = ROUND.min(remaining);
+            // Propose the whole round up front (all neighbours of the
+            // current parent): the trajectory is fixed before estimation,
+            // which is what makes the batch granularity inert.
+            let candidates: Vec<Configuration> = (0..r)
+                .map(|_| space.neighbor(&self.parent, &mut self.rng))
+                .collect();
+            let mut estimates = Vec::with_capacity(r);
+            for batch in candidates.chunks(chunk) {
+                estimates.extend(estimator.estimate_batch(batch));
+            }
+            debug_assert_eq!(estimates.len(), r, "estimator returned wrong batch size");
+            // Replay the round through the sequential Algorithm-1 logic.
+            for (c, est) in candidates.into_iter().zip(estimates) {
+                if self.front.try_insert(est, c.clone()) {
+                    self.parent = c;
+                    self.stagnation = 0;
+                } else {
+                    self.stagnation += 1;
+                    if self.stagnation >= limit && !self.front.is_empty() {
+                        let pick = self.rng.gen_range(0..self.front.len());
+                        self.parent = self
+                            .front
+                            .iter()
+                            .nth(pick)
+                            .map(|(_, cc)| cc.clone())
+                            .expect("front member");
+                        self.stagnation = 0;
+                    }
+                }
+            }
+            remaining -= r;
+        }
+    }
+}
+
+/// Runs the batched, multi-core island variant of Algorithm 1 and returns
+/// the merged pseudo-Pareto set.
+///
+/// The result is byte-identical for a given `(seed, max_evals,
+/// stagnation_limit, islands)` regardless of [`SearchOptions::threads`]
+/// and [`SearchOptions::batch_size`]; see the module docs for the
+/// guarantees.
 pub fn heuristic_pareto(
+    space: &ConfigSpace,
+    estimator: &impl Estimator,
+    opts: &SearchOptions,
+) -> ParetoFront<Configuration> {
+    let islands = opts.islands.max(1);
+    let threads = if opts.threads == 0 {
+        autoax_exec::thread_count()
+    } else {
+        opts.threads
+    };
+    // Split the eval budget across islands: the first `max_evals % islands`
+    // islands take one extra eval.
+    let base = opts.max_evals / islands;
+    let extra = opts.max_evals % islands;
+    let mut states: Vec<Island> = (0..islands)
+        .map(|i| {
+            let budget = base + usize::from(i < extra);
+            Island::new(space, island_seed(opts.seed, i as u64), budget)
+        })
+        .collect();
+    let mut global: ParetoFront<Configuration> = ParetoFront::new();
+    // Every trade-off point ever offered to `global`, by bit pattern.
+    // Once `try_insert` has seen a point it will reject that point forever
+    // (a rejecting member can only be evicted by a transitively dominating
+    // one), so the merge can skip re-offers — in particular the shared
+    // front cloned back to every island — in O(1) instead of replaying an
+    // O(|front|) scan per member per epoch.
+    let mut seen: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+    for epoch in 0..SYNC_EPOCHS {
+        for st in &mut states {
+            // Spend 1/SYNC_EPOCHS of the island budget per epoch; the
+            // last epoch takes the remainder.
+            st.epoch_budget = if epoch + 1 == SYNC_EPOCHS {
+                st.budget
+            } else {
+                st.budget / (SYNC_EPOCHS - epoch)
+            };
+            st.budget -= st.epoch_budget;
+        }
+        states = autoax_exec::par_map_owned_with(threads.min(islands), states, |mut st| {
+            st.run_epoch(space, estimator, opts);
+            st
+        });
+        // Deterministic merge: island order, then each island's insertion
+        // order. `try_insert` rejects duplicates and evicts dominated
+        // members, so the global front stays minimal.
+        for st in &states {
+            for (p, c) in st.front.iter() {
+                if seen.insert((p.qor.to_bits(), p.cost.to_bits())) {
+                    global.try_insert(*p, c.clone());
+                }
+            }
+        }
+        // Share the merged knowledge back so later-epoch stagnation
+        // restarts can jump to any island's discoveries.
+        for st in &mut states {
+            st.front = global.clone();
+        }
+    }
+    global
+}
+
+/// The original single-threaded, one-estimate-per-iteration Algorithm 1 —
+/// the scalar baseline for the island search (kept for the
+/// `search_throughput` bench and as the paper-literal reference).
+pub fn heuristic_pareto_scalar(
     space: &ConfigSpace,
     estimator: &impl Estimator,
     opts: &SearchOptions,
@@ -113,8 +317,8 @@ mod tests {
         let space = toy_space(4, 6);
         let opts = SearchOptions {
             max_evals: 20_000,
-            stagnation_limit: 50,
             seed: 3,
+            ..SearchOptions::default()
         };
         let front = heuristic_pareto(&space, &toy_estimator, &opts);
         // with qor = -t and cost = 100 - t, every distinct t is
@@ -127,8 +331,8 @@ mod tests {
         let space = toy_space(3, 5);
         let opts = SearchOptions {
             max_evals: 5_000,
-            stagnation_limit: 50,
             seed: 9,
+            ..SearchOptions::default()
         };
         let f1 = heuristic_pareto(&space, &toy_estimator, &opts);
         let f2 = heuristic_pareto(&space, &toy_estimator, &opts);
@@ -136,6 +340,100 @@ mod tests {
         let p1: Vec<_> = f1.points().iter().map(|p| (p.qor, p.cost)).collect();
         let p2: Vec<_> = f2.points().iter().map(|p| (p.qor, p.cost)).collect();
         assert_eq!(p1, p2);
+    }
+
+    /// Full result of a front, payloads included, for byte-identity
+    /// comparisons.
+    fn snapshot(front: &ParetoFront<Configuration>) -> Vec<(u64, u64, Vec<u16>)> {
+        front
+            .iter()
+            .map(|(p, c)| (p.qor.to_bits(), p.cost.to_bits(), c.0.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn identical_fronts_for_thread_counts_1_2_8() {
+        let space = toy_space(5, 7);
+        let run = |threads: usize| {
+            heuristic_pareto(
+                &space,
+                &toy_estimator,
+                &SearchOptions {
+                    max_evals: 6_000,
+                    seed: 17,
+                    threads,
+                    ..SearchOptions::default()
+                },
+            )
+        };
+        let one = snapshot(&run(1));
+        for threads in [2, 8] {
+            assert_eq!(one, snapshot(&run(threads)), "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn identical_fronts_for_any_batch_size() {
+        let space = toy_space(4, 6);
+        let run = |batch_size: usize| {
+            heuristic_pareto(
+                &space,
+                &toy_estimator,
+                &SearchOptions {
+                    max_evals: 4_000,
+                    seed: 23,
+                    batch_size,
+                    ..SearchOptions::default()
+                },
+            )
+        };
+        let reference = snapshot(&run(1));
+        for batch in [3, 7, 32, 1000] {
+            assert_eq!(reference, snapshot(&run(batch)), "batch={batch} diverged");
+        }
+    }
+
+    #[test]
+    fn island_count_is_a_semantic_knob() {
+        // Different island counts are allowed to (and generally do)
+        // explore different trajectories — but each must be internally
+        // deterministic.
+        let space = toy_space(4, 6);
+        let run = |islands: usize| {
+            heuristic_pareto(
+                &space,
+                &toy_estimator,
+                &SearchOptions {
+                    max_evals: 2_000,
+                    seed: 5,
+                    islands,
+                    ..SearchOptions::default()
+                },
+            )
+        };
+        for islands in [1, 2, 8] {
+            assert_eq!(
+                snapshot(&run(islands)),
+                snapshot(&run(islands)),
+                "islands={islands} not deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_baseline_matches_historical_behavior() {
+        // The scalar path is the pre-island sequential loop; it must stay
+        // deterministic and produce a sane front.
+        let space = toy_space(4, 6);
+        let opts = SearchOptions {
+            max_evals: 10_000,
+            seed: 3,
+            ..SearchOptions::default()
+        };
+        let a = heuristic_pareto_scalar(&space, &toy_estimator, &opts);
+        let b = heuristic_pareto_scalar(&space, &toy_estimator, &opts);
+        assert_eq!(snapshot(&a), snapshot(&b));
+        assert!(a.len() >= 15, "scalar found only {} levels", a.len());
     }
 
     #[test]
@@ -155,6 +453,7 @@ mod tests {
                 max_evals: 3000,
                 stagnation_limit: 20,
                 seed: 5,
+                ..SearchOptions::default()
             },
         );
         let pts = front.points();
@@ -176,8 +475,8 @@ mod tests {
                 &toy_estimator,
                 &SearchOptions {
                     max_evals: evals,
-                    stagnation_limit: 50,
                     seed: 11,
+                    ..SearchOptions::default()
                 },
             )
             .len()

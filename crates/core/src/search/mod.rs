@@ -13,7 +13,7 @@ pub mod random;
 pub mod uniform;
 
 pub use exhaustive::exhaustive_front;
-pub use hill::{heuristic_pareto, SearchOptions};
+pub use hill::{heuristic_pareto, heuristic_pareto_scalar, SearchOptions};
 pub use random::random_sampling;
 pub use uniform::uniform_selection;
 
@@ -22,14 +22,30 @@ use crate::pareto::TradeoffPoint;
 
 /// An estimation oracle mapping a configuration to `(QoR, cost)` — in the
 /// pipeline this is a pair of fitted models, in tests a closed form.
-pub trait Estimator {
+///
+/// Estimators are immutable (`Sync`) so the island search can share one
+/// instance across worker threads.
+pub trait Estimator: Sync {
     /// Estimates the trade-off point of a configuration.
     fn estimate(&self, c: &Configuration) -> TradeoffPoint;
+
+    /// Estimates a batch of configurations at once.
+    ///
+    /// The default loops over [`Estimator::estimate`]; model-backed
+    /// estimators override this to encode all features into one matrix
+    /// and run a single batched prediction per model (see
+    /// [`crate::model::ModelEstimator`]). Implementations must return
+    /// exactly `configs.len()` points, bitwise equal to what per-row
+    /// estimation would produce, so batch granularity never changes
+    /// search results.
+    fn estimate_batch(&self, configs: &[Configuration]) -> Vec<TradeoffPoint> {
+        configs.iter().map(|c| self.estimate(c)).collect()
+    }
 }
 
 impl<F> Estimator for F
 where
-    F: Fn(&Configuration) -> TradeoffPoint,
+    F: Fn(&Configuration) -> TradeoffPoint + Sync,
 {
     fn estimate(&self, c: &Configuration) -> TradeoffPoint {
         self(c)

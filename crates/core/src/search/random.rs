@@ -9,6 +9,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Builds a Pareto set from `opts.max_evals` uniformly random samples.
+///
+/// Samples are drawn sequentially from one RNG stream but estimated in
+/// batches of [`SearchOptions::batch_size`] through
+/// [`Estimator::estimate_batch`]; because sampling never depends on
+/// estimates, the result is byte-identical for any batch size (and to the
+/// historical one-estimate-per-iteration loop).
 pub fn random_sampling(
     space: &ConfigSpace,
     estimator: &impl Estimator,
@@ -16,10 +22,16 @@ pub fn random_sampling(
 ) -> ParetoFront<Configuration> {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut front = ParetoFront::new();
-    for _ in 0..opts.max_evals {
-        let c = space.random(&mut rng);
-        let est = estimator.estimate(&c);
-        front.try_insert(est, c);
+    let chunk = opts.batch_size.max(1);
+    let mut remaining = opts.max_evals;
+    while remaining > 0 {
+        let r = chunk.min(remaining);
+        let candidates: Vec<Configuration> = (0..r).map(|_| space.random(&mut rng)).collect();
+        let estimates = estimator.estimate_batch(&candidates);
+        for (c, est) in candidates.into_iter().zip(estimates) {
+            front.try_insert(est, c);
+        }
+        remaining -= r;
     }
     front
 }
@@ -71,6 +83,7 @@ mod tests {
             max_evals: 2000,
             stagnation_limit: 50,
             seed: 1,
+            ..SearchOptions::default()
         };
         let front = random_sampling(&space, &needle_estimator, &opts);
         assert!(!front.is_empty());
@@ -115,6 +128,7 @@ mod tests {
                 max_evals: budget,
                 stagnation_limit: 50,
                 seed,
+                ..SearchOptions::default()
             };
             hill_total += dist(&heuristic_pareto(&space, &est, &opts));
             rs_total += dist(&random_sampling(&space, &est, &opts));
@@ -132,6 +146,7 @@ mod tests {
             max_evals: 500,
             stagnation_limit: 50,
             seed: 7,
+            ..SearchOptions::default()
         };
         let a = random_sampling(&space, &needle_estimator, &opts);
         let b = random_sampling(&space, &needle_estimator, &opts);

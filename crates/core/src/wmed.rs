@@ -7,8 +7,8 @@
 //! that drives library pre-processing.
 
 use autoax_accel::Pmf;
-use autoax_circuit::util::par_map;
 use autoax_circuit::CircuitEntry;
+use autoax_exec::par_map;
 
 /// Computes the WMED of one circuit against a PMF support.
 ///

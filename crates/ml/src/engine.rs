@@ -29,8 +29,9 @@ impl std::error::Error for TrainError {}
 /// A supervised regression model.
 ///
 /// All engines are deterministic functions of their inputs and their
-/// construction seed.
-pub trait Regressor: Send {
+/// construction seed. Fitted models are immutable at prediction time
+/// (`Sync`), so batch prediction can fan out across worker threads.
+pub trait Regressor: Send + Sync {
     /// Fits the model on rows of `x` with targets `y`.
     ///
     /// # Errors
@@ -42,8 +43,15 @@ pub trait Regressor: Send {
     fn predict_row(&self, row: &[f64]) -> f64;
 
     /// Predicts targets for every row of `x`.
+    ///
+    /// The default implementation maps [`Regressor::predict_row`] over the
+    /// rows through the execution layer, parallelizing large batches
+    /// across [`autoax_exec::thread_count`] workers; per-row results are
+    /// bitwise identical to calling `predict_row` directly, at any thread
+    /// count.
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        x.rows_iter().map(|r| self.predict_row(r)).collect()
+        let rows: Vec<&[f64]> = x.rows_iter().collect();
+        autoax_exec::par_map(&rows, |r| self.predict_row(r))
     }
 }
 

@@ -76,6 +76,37 @@ impl Regressor for RandomForest {
         }
         self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
     }
+
+    /// Batched prediction tuned for the estimation hot path: rows are
+    /// processed in fixed blocks (parallelized through the execution
+    /// layer) and trees walk each block in the outer loop, so one tree's
+    /// nodes stay cache-hot across the whole block. The per-row additions
+    /// happen in tree order, exactly as in [`RandomForest::predict_row`],
+    /// so results are bitwise identical at any thread count.
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        if self.trees.is_empty() {
+            return vec![0.0; x.nrows()];
+        }
+        // Fixed block size: keeps results independent of the worker count
+        // and matches the search layer's estimation round granularity.
+        const BLOCK: usize = 32;
+        let rows: Vec<&[f64]> = x.rows_iter().collect();
+        let blocks: Vec<&[&[f64]]> = rows.chunks(BLOCK).collect();
+        let n_trees = self.trees.len() as f64;
+        let parts = autoax_exec::par_map(&blocks, |block| {
+            let mut acc = vec![0.0f64; block.len()];
+            for tree in &self.trees {
+                for (a, row) in acc.iter_mut().zip(block.iter()) {
+                    *a += tree.predict_row(row);
+                }
+            }
+            for a in &mut acc {
+                *a /= n_trees;
+            }
+            acc
+        });
+        parts.into_iter().flatten().collect()
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +161,22 @@ mod tests {
         f1.fit(&x, &y).unwrap();
         f2.fit(&x, &y).unwrap();
         assert_ne!(f1.predict_row(&[0.35, 0.71]), f2.predict_row(&[0.35, 0.71]));
+    }
+
+    #[test]
+    fn batched_predict_is_bitwise_identical_to_per_row() {
+        let (x, y) = nonlinear_data(150);
+        let mut f = RandomForest::new(5).with_trees(20);
+        f.fit(&x, &y).unwrap();
+        let batch = f.predict(&x);
+        assert_eq!(batch.len(), x.nrows());
+        for (i, row) in x.rows_iter().enumerate() {
+            assert_eq!(
+                batch[i].to_bits(),
+                f.predict_row(row).to_bits(),
+                "row {i} diverged"
+            );
+        }
     }
 
     #[test]

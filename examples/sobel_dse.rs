@@ -89,6 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_evals: evals,
         stagnation_limit: 50,
         seed: 3,
+        ..SearchOptions::default()
     };
     let hill = heuristic_pareto(&pre.space, &estimator, &opts);
     let rs = random_sampling(&pre.space, &estimator, &opts);

@@ -207,7 +207,7 @@ pub mod collection {
     use super::{StdRng, Strategy};
     use rand::Rng;
 
-    /// Sizes accepted by [`vec`]: a fixed length or a half-open range.
+    /// Sizes accepted by [`vec()`]: a fixed length or a half-open range.
     pub trait IntoSizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut StdRng) -> usize;

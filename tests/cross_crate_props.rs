@@ -8,18 +8,24 @@
 //! * Pareto front invariants under arbitrary insertion streams;
 //! * SSIM bounds and identity.
 
+use autoax::config::{ConfigSpace, Configuration, SlotChoices, SlotMember};
+use autoax::model::FittedModels;
 use autoax::pareto::{ParetoFront, TradeoffPoint};
+use autoax::search::Estimator;
 use autoax_accel::accelerator::CompiledOp;
 use autoax_accel::Pmf;
 use autoax_circuit::approx::adders::AdderKind;
 use autoax_circuit::approx::muls::MulKind;
 use autoax_circuit::approx::subs::SubKind;
 use autoax_circuit::approx::Behavior;
-use autoax_circuit::charlib::{build_class, LibraryConfig};
+use autoax_circuit::charlib::{build_class, ComponentLibrary, LibraryConfig};
 use autoax_circuit::sim::eval_binop;
 use autoax_circuit::synth::optimize;
 use autoax_circuit::OpSignature;
+use autoax_ml::{EngineKind, Matrix};
 use proptest::prelude::*;
+use rand::SeedableRng;
+use std::sync::OnceLock;
 
 /// Strategy producing arbitrary 8-bit adder variants.
 fn adder_kind_strategy() -> impl Strategy<Value = AdderKind> {
@@ -53,6 +59,83 @@ fn sub_kind_strategy() -> impl Strategy<Value = SubKind> {
         (1u32..10).prop_map(|k| SubKind::TruncPass { k }),
         (1u32..10).prop_map(|k| SubKind::XorLower { k }),
     ]
+}
+
+/// Lazily fitted model pairs for every Table 3 engine over a tiny
+/// three-slot adder space, shared across property cases (one fit per
+/// engine per test binary).
+#[allow(clippy::type_complexity)]
+static ENGINE_ZOO: OnceLock<(
+    ConfigSpace,
+    ComponentLibrary,
+    Vec<(EngineKind, FittedModels)>,
+)> = OnceLock::new();
+
+fn fitted_engine_zoo() -> (
+    &'static ConfigSpace,
+    &'static ComponentLibrary,
+    impl Iterator<Item = (EngineKind, &'static FittedModels)>,
+) {
+    let (space, lib, fitted) = ENGINE_ZOO.get_or_init(|| {
+        let cfg = LibraryConfig::tiny();
+        let entries = build_class(OpSignature::ADD8, 10, &cfg, 11);
+        let mut lib = ComponentLibrary::default();
+        lib.insert_class(OpSignature::ADD8, entries);
+        let space = ConfigSpace::new(
+            (0..3)
+                .map(|i| SlotChoices {
+                    name: format!("s{i}"),
+                    signature: OpSignature::ADD8,
+                    members: lib
+                        .class(OpSignature::ADD8)
+                        .iter()
+                        .map(|e| SlotMember {
+                            id: e.id,
+                            wmed: e.err.mae,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        );
+        // Distinct random training configurations with synthetic nonlinear
+        // targets — enough structure for every engine to fit something.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2019);
+        let mut train: Vec<Configuration> = (0..120).map(|_| space.random(&mut rng)).collect();
+        train.sort();
+        train.dedup();
+        let qrows: Vec<Vec<f64>> = train
+            .iter()
+            .map(|c| autoax::model::qor_features(&space, c))
+            .collect();
+        let hrows: Vec<Vec<f64>> = train
+            .iter()
+            .map(|c| autoax::model::hw_features(&space, &lib, c))
+            .collect();
+        let yq: Vec<f64> = qrows
+            .iter()
+            .map(|r| 1.0 - r.iter().sum::<f64>() / 50.0 + (r[0] * 0.3).sin() * 0.1)
+            .collect();
+        let yh: Vec<f64> = hrows
+            .iter()
+            .map(|r| r.iter().step_by(3).sum::<f64>() * (1.0 + 0.01 * (r[0] * 0.2).cos()))
+            .collect();
+        let qx = Matrix::from_rows(&qrows);
+        let hx = Matrix::from_rows(&hrows);
+        let fitted: Vec<(EngineKind, FittedModels)> = EngineKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut qor = kind.make(5);
+                qor.fit(&qx, &yq)
+                    .unwrap_or_else(|e| panic!("{kind} qor: {e}"));
+                let mut hw = kind.make(6);
+                hw.fit(&hx, &yh)
+                    .unwrap_or_else(|e| panic!("{kind} hw: {e}"));
+                (kind, FittedModels { qor, hw })
+            })
+            .collect();
+        (space, lib, fitted)
+    });
+    (space, lib, fitted.iter().map(|(k, m)| (*k, m)))
 }
 
 proptest! {
@@ -220,6 +303,36 @@ proptest! {
                 wa,
                 wb
             );
+        }
+    }
+
+    #[test]
+    fn estimate_batch_equals_per_row_estimate_for_every_engine(seed in any::<u64>()) {
+        // Property: for every learning engine of Table 3, the batched
+        // estimation path (one feature matrix + one predict per model)
+        // returns bitwise the same trade-off points as per-row estimation,
+        // for arbitrary configuration batches. This is the invariant that
+        // makes the island search's batch granularity semantically inert.
+        let (space, lib, fitted) = fitted_engine_zoo();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 1 + (seed % 40) as usize;
+        let configs: Vec<Configuration> = (0..n).map(|_| space.random(&mut rng)).collect();
+        for (kind, models) in fitted {
+            let batch = models.estimate_batch(space, lib, &configs);
+            prop_assert_eq!(batch.len(), configs.len());
+            for (c, (bq, bh)) in configs.iter().zip(batch.iter()) {
+                let (q, h) = models.estimate(space, lib, c);
+                prop_assert_eq!(q.to_bits(), bq.to_bits(), "{}: qor diverged", kind);
+                prop_assert_eq!(h.to_bits(), bh.to_bits(), "{}: hw diverged", kind);
+            }
+            // and through the Estimator trait the search consumes
+            let est = autoax::model::ModelEstimator::new(models, space, lib);
+            let pts = est.estimate_batch(&configs);
+            for (c, p) in configs.iter().zip(pts.iter()) {
+                let one = est.estimate(c);
+                prop_assert_eq!(one.qor.to_bits(), p.qor.to_bits(), "{}", kind);
+                prop_assert_eq!(one.cost.to_bits(), p.cost.to_bits(), "{}", kind);
+            }
         }
     }
 

@@ -175,6 +175,54 @@ fn hardware_netlists_of_configurations_are_simulable() {
 }
 
 #[test]
+fn pipeline_search_is_thread_and_batch_invariant() {
+    // The island search must produce a byte-identical pseudo-Pareto set
+    // (and therefore final front) for any worker-thread count and any
+    // estimation batch granularity — those are throughput knobs only.
+    let lib = tiny_lib();
+    let imgs = images();
+    let accel = SobelEd::new();
+    let run = |threads: usize, batch: usize| {
+        run_pipeline(
+            &accel,
+            &lib,
+            &imgs,
+            &PipelineOptions {
+                search_threads: threads,
+                search_batch: batch,
+                ..PipelineOptions::quick()
+            },
+        )
+        .expect("pipeline run")
+    };
+    let reference = run(1, 1);
+    assert!(reference.timings.search_evals_per_sec > 0.0);
+    let ref_pseudo: Vec<(u64, u64, autoax::Configuration)> = reference
+        .pseudo_front
+        .iter()
+        .map(|(p, c)| (p.qor.to_bits(), p.cost.to_bits(), c.clone()))
+        .collect();
+    for (threads, batch) in [(2, 17), (8, 256)] {
+        let other = run(threads, batch);
+        let other_pseudo: Vec<(u64, u64, autoax::Configuration)> = other
+            .pseudo_front
+            .iter()
+            .map(|(p, c)| (p.qor.to_bits(), p.cost.to_bits(), c.clone()))
+            .collect();
+        assert_eq!(
+            ref_pseudo, other_pseudo,
+            "pseudo front diverged at threads={threads} batch={batch}"
+        );
+        assert_eq!(reference.final_front.len(), other.final_front.len());
+        for (a, b) in reference.final_front.iter().zip(other.final_front.iter()) {
+            assert_eq!(a.ssim, b.ssim);
+            assert_eq!(a.area, b.area);
+            assert_eq!(a.config, b.config);
+        }
+    }
+}
+
+#[test]
 fn pipeline_is_deterministic() {
     let lib = tiny_lib();
     let imgs = images();
