@@ -88,6 +88,25 @@ impl Pmf {
         grid
     }
 
+    /// The raw operand-pair counts in deterministic (sorted-key) order —
+    /// the lossless serialization surface used by `autoax-store`.
+    pub fn sorted_counts(&self) -> Vec<((u32, u32), u64)> {
+        let mut v: Vec<((u32, u32), u64)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Rebuilds a distribution from raw counts (inverse of
+    /// [`Pmf::sorted_counts`]; duplicate keys are summed).
+    pub fn from_counts(counts: impl IntoIterator<Item = ((u32, u32), u64)>) -> Self {
+        let mut pmf = Pmf::new();
+        for ((a, b), c) in counts {
+            *pmf.counts.entry((a, b)).or_insert(0) += c;
+            pmf.total += c;
+        }
+        pmf
+    }
+
     /// Merges another distribution into this one (summing counts).
     pub fn absorb(&mut self, other: Pmf) {
         for (k, c) in other.counts {

@@ -1,0 +1,49 @@
+//! Criterion bench: cold vs warm pipeline runs — quantifies what the
+//! persistent store saves on repeat invocations.
+//!
+//! "Cold" runs the full three-step methodology (cache off). "Warm" reads
+//! the Steps-1/2 artifact (reduced space + PMFs + fidelity + fitted
+//! models) from a populated cache, so only Step 3 (search + final real
+//! evaluation) executes. Both produce byte-identical results — asserted
+//! by `tests/pipeline_cache.rs`; here we measure the time difference.
+
+use autoax::pipeline::{run_pipeline, PipelineOptions};
+use autoax::CacheMode;
+use autoax_accel::sobel::SobelEd;
+use autoax_circuit::charlib::{build_library, LibraryConfig};
+use autoax_image::synthetic::benchmark_suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cache_warm(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("autoax-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let accel = SobelEd::new();
+    let lib = build_library(&LibraryConfig::tiny());
+    let images = benchmark_suite(2, 96, 64, 3);
+
+    let cold_opts = PipelineOptions::quick();
+    let warm_opts = PipelineOptions::quick().with_cache(&dir, CacheMode::ReadWrite);
+
+    // Populate the cache once; assert the next run actually warm-starts.
+    let seed_run = run_pipeline(&accel, &lib, &images, &warm_opts).expect("seed run");
+    assert_eq!(seed_run.timings.cache_misses, 1);
+
+    let mut group = c.benchmark_group("pipeline_warm_start");
+    group.sample_size(5);
+    group.bench_function("cold_full_steps_1_2_3", |b| {
+        b.iter(|| black_box(run_pipeline(&accel, &lib, &images, &cold_opts).expect("cold")))
+    });
+    group.bench_function("warm_step_3_only", |b| {
+        b.iter(|| {
+            let res = run_pipeline(&accel, &lib, &images, &warm_opts).expect("warm");
+            assert_eq!(res.timings.cache_hits, 1, "bench must measure warm runs");
+            black_box(res)
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_cache_warm);
+criterion_main!(benches);

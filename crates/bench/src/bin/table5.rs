@@ -6,23 +6,41 @@
 //! ```sh
 //! cargo run --release -p autoax-bench --bin table5 -- --scale default
 //! ```
+//!
+//! Repeat runs warm-start from the persistent store — library
+//! characterization and the Steps-1/2 artifacts are loaded instead of
+//! recomputed:
+//!
+//! ```sh
+//! cargo run --release -p autoax-bench --bin table5 -- --scale default --cache-dir .axcache
+//! ```
 
 use autoax::pipeline::{run_pipeline, PipelineOptions};
 use autoax_accel::gaussian_fixed::FixedGaussian;
 use autoax_accel::gaussian_generic::GenericGaussian;
 use autoax_accel::sobel::SobelEd;
 use autoax_accel::Accelerator;
-use autoax_bench::{sobel_image_suite, write_csv, Scale};
-use autoax_circuit::charlib::build_library;
+use autoax_bench::{cache_args, sobel_image_suite, timings_line, write_csv, Scale};
 use autoax_image::synthetic::benchmark_suite;
+use autoax_store::load_or_build_library;
 
 fn main() {
     let scale = Scale::from_args();
+    let (cache_dir, cache_mode) = cache_args();
     println!("building library (scale {}) ...", scale.label());
-    let lib = build_library(&scale.library_config());
+    let lib_out = load_or_build_library(&scale.library_config(), cache_dir.as_deref(), cache_mode);
+    if lib_out.cache_hit {
+        println!(
+            "library: warm-started from cache in {:.1?}",
+            lib_out.load_time
+        );
+    }
+    let lib = lib_out.lib;
     let (gf_imgs, gf_w, gf_h, sweep) = scale.generic_gf_setup();
     let (train_n, test_n) = scale.model_budget();
     let opts_sobel = PipelineOptions {
+        cache_dir: cache_dir.clone(),
+        cache_mode,
         train_configs: train_n,
         test_configs: test_n,
         search_evals: match scale {
@@ -104,14 +122,7 @@ fn main() {
             pseudo.to_string(),
             final_n.to_string(),
         ]);
-        println!(
-            "    timings: preprocess {:.1?}, {} training evals {:.1?}, search {:.1?}, final {:.1?}",
-            res.timings.preprocess,
-            opts.train_configs + opts.test_configs,
-            res.timings.training_data,
-            res.timings.search,
-            res.timings.final_eval,
-        );
+        println!("    timings: {}", timings_line(&res.timings));
     }
     write_csv(
         "table5.csv",

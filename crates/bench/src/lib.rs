@@ -6,11 +6,30 @@
 //! * `default` — minutes on a laptop; preserves every qualitative claim;
 //! * `paper` — the paper's library sizes (Table 2) and budgets; hours.
 //!
+//! Binaries that run the pipeline additionally accept the warm-start
+//! flags `--cache-dir <path>` and `--cache off|read|rw` (parsed by
+//! [`cache_args`]); see `docs/ARCHITECTURE.md` for the cache design.
+//!
 //! Results are printed and also written as CSV under `bench_out/`.
+//!
+//! # Example
+//!
+//! The correlation helpers used by the fidelity tables:
+//!
+//! ```
+//! use autoax_bench::{pearson, spearman};
+//!
+//! let a = [1.0, 2.0, 3.0, 4.0];
+//! let b = [10.0, 20.0, 30.0, 40.0];
+//! assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+//! assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+//! ```
 
+use autoax::pipeline::PipelineTimings;
 use autoax_circuit::charlib::{ClassCounts, LibraryConfig};
 use autoax_image::synthetic::benchmark_suite;
 use autoax_image::GrayImage;
+use autoax_store::cache::CacheMode;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -109,6 +128,52 @@ impl Scale {
 pub fn sobel_image_suite(scale: Scale) -> Vec<GrayImage> {
     let (n, w, h) = scale.sobel_images();
     benchmark_suite(n, w, h, 2019)
+}
+
+/// Parses the warm-start flags `--cache-dir <path>` (or `--cache-dir=`)
+/// and `--cache off|read|rw` from `std::env::args`.
+///
+/// Thin wrapper over [`autoax_store::parse_cache_flags`] — the one flag
+/// parser shared with the examples, so every entry point accepts the
+/// same syntax and handles bad input identically (an unknown mode warns
+/// and disables caching).
+pub fn cache_args() -> (Option<PathBuf>, CacheMode) {
+    let args: Vec<String> = std::env::args().collect();
+    autoax_store::parse_cache_flags(&args)
+}
+
+/// One-line stage/cache timing summary of a pipeline run, making the
+/// Steps-1–2 breakdown and warm-start savings visible in bench output.
+pub fn timings_line(t: &PipelineTimings) -> String {
+    let mut s = String::new();
+    if t.cache_hits > 0 {
+        write!(
+            s,
+            "cache warm ({} hit, load {:.1?} vs compute-equivalent skipped)",
+            t.cache_hits, t.cache_load
+        )
+        .unwrap();
+    } else {
+        write!(
+            s,
+            "step1 profile {:.1?} + wmed/pareto {:.1?}, step2 data {:.1?} + fit {:.1?}",
+            t.profiling,
+            t.preprocess.saturating_sub(t.profiling),
+            t.training_data,
+            t.model_fit
+        )
+        .unwrap();
+        if t.cache_misses > 0 {
+            write!(s, " [cache miss]").unwrap();
+        }
+    }
+    write!(
+        s,
+        "; search {:.1?} ({:.2e} evals/s), final {:.1?}",
+        t.search, t.search_evals_per_sec, t.final_eval
+    )
+    .unwrap();
+    s
 }
 
 /// Output directory for CSV artifacts (`bench_out/`), created on demand.

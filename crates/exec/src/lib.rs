@@ -18,6 +18,16 @@
 //! at least 1). Every primitive also has a `*_with` variant taking an
 //! explicit thread count, which the determinism tests use to avoid racing
 //! on the process environment.
+//!
+//! # Example
+//!
+//! ```
+//! // Order-preserving parallel map: identical output at any thread count.
+//! let inputs: Vec<u64> = (0..100).collect();
+//! let squares = autoax_exec::par_map(&inputs, |&x| x * x);
+//! assert_eq!(squares[7], 49);
+//! assert_eq!(squares, autoax_exec::par_map_with(1, &inputs, |&x| x * x));
+//! ```
 
 /// Environment variable overriding the default worker-thread count.
 pub const THREADS_ENV: &str = "AUTOAX_THREADS";

@@ -60,6 +60,22 @@ impl Standardizer {
         let rows: Vec<Vec<f64>> = x.rows_iter().map(|r| self.transform_row(r)).collect();
         Matrix::from_rows(&rows)
     }
+
+    /// Per-column means (serialization hook).
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column standard deviations (serialization hook).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Rebuilds a standardizer from stored parts.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Self {
+        assert_eq!(means.len(), stds.len(), "mean/std length mismatch");
+        Standardizer { means, stds }
+    }
 }
 
 /// Scalar standardization for targets.
@@ -90,6 +106,16 @@ impl TargetScaler {
     /// Maps a standardized prediction back to the raw scale.
     pub fn unscale(&self, v: f64) -> f64 {
         v * self.std + self.mean
+    }
+
+    /// The fitted `(mean, std)` pair (serialization hook).
+    pub fn parts(&self) -> (f64, f64) {
+        (self.mean, self.std)
+    }
+
+    /// Rebuilds a scaler from stored parts.
+    pub fn from_parts(mean: f64, std: f64) -> Self {
+        TargetScaler { mean, std }
     }
 }
 

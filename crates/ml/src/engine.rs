@@ -53,6 +53,15 @@ pub trait Regressor: Send + Sync {
         let rows: Vec<&[f64]> = x.rows_iter().collect();
         autoax_exec::par_map(&rows, |r| self.predict_row(r))
     }
+
+    /// Concrete-type view for serialization (`autoax-store` downcasts
+    /// through this to encode fitted models). Engines that do not support
+    /// persistence keep the default `None`, which the store reports as
+    /// [`TrainError`]-free but unsupported — callers then fall back to
+    /// refitting instead of caching.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// The engines compared in the paper's Table 3 (naïve models are built

@@ -36,6 +36,23 @@ impl RandomForest {
         self.n_trees = n;
         self
     }
+
+    /// The fitted trees (empty before [`Regressor::fit`]).
+    pub fn fitted_trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Rebuilds a fitted forest from its parts (the serialization path:
+    /// prediction over the restored forest is bitwise identical to the
+    /// original because only the trees participate in prediction).
+    pub fn from_fitted_parts(seed: u64, tree_config: TreeConfig, trees: Vec<DecisionTree>) -> Self {
+        RandomForest {
+            n_trees: trees.len(),
+            tree_config,
+            seed,
+            trees,
+        }
+    }
 }
 
 impl Regressor for RandomForest {
@@ -106,6 +123,10 @@ impl Regressor for RandomForest {
             acc
         });
         parts.into_iter().flatten().collect()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -26,6 +26,30 @@ impl Ridge {
             weights: Vec::new(),
         }
     }
+
+    /// The fitted `(scaler, target scaler, weights)` triple, or `None`
+    /// before fitting (serialization hook).
+    pub fn fitted_parts(&self) -> Option<(&Standardizer, &TargetScaler, &[f64])> {
+        match (&self.scaler, &self.yscale) {
+            (Some(s), Some(y)) => Some((s, y, &self.weights)),
+            _ => None,
+        }
+    }
+
+    /// Rebuilds a fitted model from stored parts.
+    pub fn from_fitted_parts(
+        alpha: f64,
+        scaler: Standardizer,
+        yscale: TargetScaler,
+        weights: Vec<f64>,
+    ) -> Self {
+        Ridge {
+            alpha,
+            scaler: Some(scaler),
+            yscale: Some(yscale),
+            weights,
+        }
+    }
 }
 
 fn fit_l2(x: &Matrix, y: &[f64], alpha: f64) -> Result<Vec<f64>, TrainError> {
@@ -58,6 +82,10 @@ impl Regressor for Ridge {
         };
         ys.unscale(dot(&s.transform_row(row), &self.weights))
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// Bayesian ridge regression: the L2 penalty is learned by evidence
@@ -79,6 +107,30 @@ impl BayesianRidge {
             scaler: None,
             yscale: None,
             weights: Vec::new(),
+        }
+    }
+
+    /// The fitted `(scaler, target scaler, weights)` triple, or `None`
+    /// before fitting (serialization hook).
+    pub fn fitted_parts(&self) -> Option<(&Standardizer, &TargetScaler, &[f64])> {
+        match (&self.scaler, &self.yscale) {
+            (Some(s), Some(y)) => Some((s, y, &self.weights)),
+            _ => None,
+        }
+    }
+
+    /// Rebuilds a fitted model from stored parts.
+    pub fn from_fitted_parts(
+        max_iter: usize,
+        scaler: Standardizer,
+        yscale: TargetScaler,
+        weights: Vec<f64>,
+    ) -> Self {
+        BayesianRidge {
+            max_iter,
+            scaler: Some(scaler),
+            yscale: Some(yscale),
+            weights,
         }
     }
 }
@@ -153,6 +205,10 @@ impl Regressor for BayesianRidge {
         };
         ys.unscale(dot(&s.transform_row(row), &self.weights))
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// Approximates `trace(A^{-1})` by solving `A e_i = x_i` for each basis
@@ -199,6 +255,20 @@ impl SgdLinear {
             bias: 0.0,
         }
     }
+
+    /// The fitted `(weights, bias)` pair (serialization hook).
+    pub fn fitted_parts(&self) -> (&[f64], f64) {
+        (&self.weights, self.bias)
+    }
+
+    /// Rebuilds a fitted model from stored parts.
+    pub fn from_fitted_parts(seed: u64, weights: Vec<f64>, bias: f64) -> Self {
+        SgdLinear {
+            weights,
+            bias,
+            ..SgdLinear::new(seed)
+        }
+    }
 }
 
 impl Regressor for SgdLinear {
@@ -227,6 +297,10 @@ impl Regressor for SgdLinear {
     fn predict_row(&self, row: &[f64]) -> f64 {
         dot(row, &self.weights) + self.bias
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// A fixed linear predictor `w · x` used for the paper's naïve models
@@ -242,6 +316,11 @@ impl LinearFixed {
     pub fn new(weights: Vec<f64>) -> Self {
         LinearFixed { weights }
     }
+
+    /// The fixed weights (serialization hook).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
 }
 
 impl Regressor for LinearFixed {
@@ -252,6 +331,10 @@ impl Regressor for LinearFixed {
     fn predict_row(&self, row: &[f64]) -> f64 {
         assert_eq!(row.len(), self.weights.len(), "feature width mismatch");
         dot(row, &self.weights)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -46,6 +46,30 @@ enum Node {
     },
 }
 
+/// Flat, public view of one fitted tree node — the serialization surface
+/// used by `autoax-store` to round-trip trees without exposing the
+/// internal arena. Node indices are positions in the exported vector;
+/// node 0 is the root.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeRepr {
+    /// A leaf predicting `value`.
+    Leaf {
+        /// Predicted target.
+        value: f64,
+    },
+    /// An internal split: `row[feature] <= threshold` goes left.
+    Split {
+        /// Feature column index.
+        feature: u32,
+        /// Split threshold.
+        threshold: f64,
+        /// Index of the left child.
+        left: u32,
+        /// Index of the right child.
+        right: u32,
+    },
+}
+
 /// A CART regression tree.
 #[derive(Debug, Clone)]
 pub struct DecisionTree {
@@ -228,6 +252,64 @@ impl DecisionTree {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
+
+    /// The tree's hyper-parameters.
+    pub fn config(&self) -> TreeConfig {
+        self.config
+    }
+
+    /// Exports the fitted nodes as their flat serializable view.
+    pub fn export_nodes(&self) -> Vec<NodeRepr> {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf(v) => NodeRepr::Leaf { value: *v },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => NodeRepr::Split {
+                    feature: *feature as u32,
+                    threshold: *threshold,
+                    left: *left as u32,
+                    right: *right as u32,
+                },
+            })
+            .collect()
+    }
+
+    /// Rebuilds a fitted tree from exported nodes.
+    ///
+    /// # Errors
+    /// Returns [`TrainError`] when a split references a child index
+    /// outside the node vector (prediction would panic otherwise).
+    pub fn from_nodes(config: TreeConfig, nodes: &[NodeRepr]) -> Result<Self, TrainError> {
+        let n = nodes.len();
+        let nodes: Vec<Node> = nodes
+            .iter()
+            .map(|r| match *r {
+                NodeRepr::Leaf { value } => Ok(Node::Leaf(value)),
+                NodeRepr::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    if left as usize >= n || right as usize >= n {
+                        return Err(TrainError::new("tree node child out of range"));
+                    }
+                    Ok(Node::Split {
+                        feature: feature as usize,
+                        threshold,
+                        left: left as usize,
+                        right: right as usize,
+                    })
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(DecisionTree { config, nodes })
+    }
 }
 
 impl Regressor for DecisionTree {
@@ -258,6 +340,10 @@ impl Regressor for DecisionTree {
                 }
             }
         }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -1,0 +1,182 @@
+//! The sealed blob container: every artifact on disk is wrapped in a
+//! fixed header plus a trailing checksum.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"AXST"
+//! 4       4     format version (u32)
+//! 8       4     type tag (4 ASCII bytes, e.g. b"ALIB")
+//! 12      8     payload length (u64)
+//! 20      n     payload
+//! 20+n    8     FNV-1a 64 checksum over bytes [0, 20+n)
+//! ```
+//!
+//! The checksum covers the header too, so a version or tag edit is caught
+//! even before the version comparison runs; [`unseal`] still reports the
+//! most specific error it can (magic → checksum → version → tag → length)
+//! so callers can distinguish "stale format" from "bit rot".
+
+use crate::StoreError;
+
+/// Magic prefix of every store blob.
+pub const MAGIC: [u8; 4] = *b"AXST";
+
+/// Current store format version. Bump on any codec layout change: the
+/// version participates both in the header comparison and in the
+/// content-address key salt, so old files are ignored rather than
+/// misparsed.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 20;
+
+/// FNV-1a 64-bit hash — the same construction the characterization
+/// fingerprints use, good enough for corruption *detection* (not tamper
+/// resistance, which an on-disk cache does not need).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn seal_with_version(tag: [u8; 4], payload: Vec<u8>, version: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&tag);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Wraps a payload in the sealed container format.
+pub fn seal(tag: [u8; 4], payload: Vec<u8>) -> Vec<u8> {
+    seal_with_version(tag, payload, FORMAT_VERSION)
+}
+
+/// Validates a sealed blob and returns a view of its payload.
+///
+/// # Errors
+/// [`StoreError::BadMagic`], [`StoreError::Truncated`],
+/// [`StoreError::Checksum`], [`StoreError::Version`] or
+/// [`StoreError::Tag`] — in that order of precedence.
+pub fn unseal(bytes: &[u8], expected_tag: [u8; 4]) -> Result<&[u8], StoreError> {
+    if bytes.len() < HEADER_LEN + 8 {
+        return Err(StoreError::Truncated);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored_sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    if fnv1a64(body) != stored_sum {
+        return Err(StoreError::Checksum);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(StoreError::Version {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let tag: [u8; 4] = bytes[8..12].try_into().unwrap();
+    if tag != expected_tag {
+        return Err(StoreError::Tag {
+            found: tag,
+            expected: expected_tag,
+        });
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    if HEADER_LEN + len + 8 != bytes.len() {
+        return Err(StoreError::Invalid(format!(
+            "payload length {len} disagrees with blob size {}",
+            bytes.len()
+        )));
+    }
+    Ok(&bytes[HEADER_LEN..HEADER_LEN + len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let blob = seal(*b"TEST", vec![1, 2, 3, 4, 5]);
+        assert_eq!(unseal(&blob, *b"TEST").unwrap(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let blob = seal(*b"NULL", Vec::new());
+        assert_eq!(unseal(&blob, *b"NULL").unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // Corruption of any bit — header, payload or checksum — must be
+        // reported as an error of some kind, never silently accepted.
+        let blob = seal(*b"PROP", vec![0xAB; 17]);
+        for byte in 0..blob.len() {
+            for bit in 0..8 {
+                let mut c = blob.clone();
+                c[byte] ^= 1 << bit;
+                assert!(
+                    unseal(&c, *b"PROP").is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_reported_as_version() {
+        let blob = seal_with_version(*b"VERS", vec![9, 9], FORMAT_VERSION + 1);
+        match unseal(&blob, *b"VERS") {
+            Err(StoreError::Version { found, expected }) => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected Version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tag_mismatch_is_reported_as_tag() {
+        let blob = seal(*b"AAAA", vec![1]);
+        assert!(matches!(
+            unseal(&blob, *b"BBBB"),
+            Err(StoreError::Tag { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_is_bad_magic() {
+        let mut blob = seal(*b"TEST", vec![1]);
+        blob[0] = b'Z';
+        // magic is checked before the checksum
+        assert!(matches!(unseal(&blob, *b"TEST"), Err(StoreError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_blob_is_truncated() {
+        let blob = seal(*b"TEST", vec![1, 2, 3]);
+        assert!(matches!(
+            unseal(&blob[..10], *b"TEST"),
+            Err(StoreError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn fnv_reference_vector() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

@@ -1,0 +1,129 @@
+//! # autoax-store
+//!
+//! Persistence layer of the autoAx reproduction: a hand-rolled, versioned,
+//! checksummed binary codec (no external serialization dependency — the
+//! build environment is offline) plus a content-addressed on-disk cache.
+//!
+//! The paper's Steps 1–2 — component characterization and QoR/hardware
+//! model construction — dominate wall-clock yet are fully deterministic
+//! functions of the library configuration, the benchmark images and the
+//! pipeline options. autoAx itself argues the characterized library and
+//! the fitted models are reusable artifacts (across applications, and in
+//! the follow-up DNN-accelerator work across many accelerator
+//! instantiations). This crate makes that reuse concrete:
+//!
+//! * [`codec`] — little-endian primitive encoder/decoder;
+//! * [`container`] — the sealed blob format: magic, format version, type
+//!   tag, payload length and an FNV-1a 64 checksum. Corrupt or
+//!   version-mismatched blobs are *detected*, never trusted;
+//! * [`circuit_codec`] — round-trip for a characterized
+//!   [`autoax_circuit::charlib::ComponentLibrary`] (behaviours, netlists,
+//!   error/hardware characterization tables);
+//! * [`ml_codec`] — round-trip for fitted
+//!   [`autoax_ml::engine::Regressor`] models (random forest, decision
+//!   tree and the linear family);
+//! * [`cache`] — [`cache::CacheMode`], 128-bit content-address keys and
+//!   the atomic-write file store;
+//! * [`library`] — [`library::load_or_build_library`], the warm-start
+//!   entry point for the characterized component library.
+//!
+//! # Example
+//!
+//! Round-trip a sealed blob and observe that corruption is detected:
+//!
+//! ```
+//! use autoax_store::codec::Encoder;
+//! use autoax_store::container::{seal, unseal};
+//! use autoax_store::StoreError;
+//!
+//! let mut enc = Encoder::new();
+//! enc.put_str("hello");
+//! enc.put_f64(0.25);
+//! let mut blob = seal(*b"DEMO", enc.into_bytes());
+//!
+//! let payload = unseal(&blob, *b"DEMO").unwrap();
+//! assert!(!payload.is_empty());
+//!
+//! let last = blob.len() - 1;
+//! blob[last] ^= 0xFF; // flip a checksum bit
+//! assert!(matches!(unseal(&blob, *b"DEMO"), Err(StoreError::Checksum)));
+//! ```
+
+pub mod cache;
+pub mod circuit_codec;
+pub mod codec;
+pub mod container;
+pub mod library;
+pub mod ml_codec;
+
+pub use cache::{parse_cache_flags, CacheKey, CacheMode, KeyHasher, Loaded, Store};
+pub use library::load_or_build_library;
+
+/// Errors of the persistence layer.
+///
+/// Every decode path is total: malformed bytes produce an error, never a
+/// panic, so a corrupt cache file degrades to a recompute.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The byte stream ended before the expected data.
+    Truncated,
+    /// The blob does not start with the store magic.
+    BadMagic,
+    /// The blob was written by an incompatible format version.
+    Version {
+        /// Version found in the blob.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The blob carries a different type tag than requested.
+    Tag {
+        /// Tag found in the blob.
+        found: [u8; 4],
+        /// Tag the caller expected.
+        expected: [u8; 4],
+    },
+    /// The checksum does not match the content.
+    Checksum,
+    /// The value cannot be represented in this format (e.g. an unfitted or
+    /// unsupported model type).
+    Unsupported(String),
+    /// Structurally invalid data (valid checksum but inconsistent
+    /// contents — only reachable with hand-crafted blobs).
+    Invalid(String),
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Truncated => write!(f, "byte stream truncated"),
+            StoreError::BadMagic => write!(f, "not an autoax store blob (bad magic)"),
+            StoreError::Version { found, expected } => {
+                write!(
+                    f,
+                    "format version mismatch: found {found}, expected {expected}"
+                )
+            }
+            StoreError::Tag { found, expected } => write!(
+                f,
+                "blob tag mismatch: found {:?}, expected {:?}",
+                String::from_utf8_lossy(found),
+                String::from_utf8_lossy(expected)
+            ),
+            StoreError::Checksum => write!(f, "checksum mismatch (corrupt blob)"),
+            StoreError::Unsupported(what) => write!(f, "unsupported for serialization: {what}"),
+            StoreError::Invalid(what) => write!(f, "invalid stored data: {what}"),
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

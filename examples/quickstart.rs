@@ -4,24 +4,64 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Repeat runs can warm-start from the persistent store — the library
+//! characterization and the Steps-1/2 artifacts (reduced space, PMFs,
+//! fitted models) are loaded instead of recomputed, with byte-identical
+//! results:
+//!
+//! ```sh
+//! cargo run --release --example quickstart -- --cache-dir .axcache
+//! cargo run --release --example quickstart -- --cache-dir .axcache   # warm
+//! ```
 
 use autoax::pipeline::{run_pipeline, PipelineOptions};
 use autoax_accel::sobel::SobelEd;
-use autoax_circuit::charlib::{build_library, LibraryConfig};
+use autoax_circuit::charlib::LibraryConfig;
 use autoax_image::synthetic::benchmark_suite;
+use autoax_store::{load_or_build_library, parse_cache_flags};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let (cache_dir, cache_mode) = parse_cache_flags(&args);
+
     // 1. Generate and characterize a small approximate-component library
-    //    (the stand-in for downloading EvoApprox8b).
-    let lib = build_library(&LibraryConfig::tiny());
-    println!("library: {} characterized circuits", lib.total_size());
+    //    (the stand-in for downloading EvoApprox8b), warm-starting from
+    //    the store when a cache directory is given.
+    let lib_out = load_or_build_library(&LibraryConfig::tiny(), cache_dir.as_deref(), cache_mode);
+    println!(
+        "library: {} characterized circuits ({})",
+        lib_out.lib.total_size(),
+        if lib_out.cache_hit {
+            format!("loaded from cache in {:.1?}", lib_out.load_time)
+        } else {
+            format!("built in {:.1?}", lib_out.build_time)
+        }
+    );
+    let lib = lib_out.lib;
 
     // 2. Benchmark images (synthetic Berkeley-dataset substitute).
     let images = benchmark_suite(4, 96, 64, 7);
 
     // 3. Run the three-step methodology with small budgets.
     let accel = SobelEd::new();
-    let result = run_pipeline(&accel, &lib, &images, &PipelineOptions::quick())?;
+    let mut opts = PipelineOptions::quick();
+    opts.cache_dir = cache_dir;
+    opts.cache_mode = cache_mode;
+    let result = run_pipeline(&accel, &lib, &images, &opts)?;
+
+    let t = &result.timings;
+    if t.cache_hits > 0 {
+        println!(
+            "cache: warm start - steps 1-2 skipped, loaded in {:.1?} (hits {}, misses {})",
+            t.cache_load, t.cache_hits, t.cache_misses
+        );
+    } else {
+        println!(
+            "cache: cold - steps 1-2 computed in {:.1?} (hits {}, misses {})",
+            t.step12_compute, t.cache_hits, t.cache_misses
+        );
+    }
 
     let (full, reduced, pseudo, final_n) = result.space_sizes_log10();
     println!("design space: 10^{full:.1} -> 10^{reduced:.1} after pre-processing");
@@ -35,5 +75,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for m in &result.final_front {
         println!("  {:.4}  {:9.1}  {:9.1}", m.ssim, m.area, m.energy);
     }
+
+    // A digest of the final front: cold and warm runs must agree on it
+    // bit for bit (the CI cache smoke job compares the two lines).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut push = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for m in &result.final_front {
+        push(m.ssim.to_bits());
+        push(m.area.to_bits());
+        push(m.energy.to_bits());
+    }
+    println!("front-digest: {h:016x}");
     Ok(())
 }

@@ -7,6 +7,9 @@
 //! cargo run --release --example sobel_dse            # default scale
 //! cargo run --release --example sobel_dse -- quick   # smoke test scale
 //! ```
+//!
+//! Pass `--cache-dir <path>` to persist the characterized library: the
+//! most expensive step of a repeat run is then a checksummed load.
 
 use autoax::evaluate::Evaluator;
 use autoax::model::{fidelity_report, fit_models, naive_models, EvaluatedSet};
@@ -16,12 +19,15 @@ use autoax::search::{heuristic_pareto, random_sampling, SearchOptions};
 use autoax::Configuration;
 use autoax_accel::sobel::SobelEd;
 use autoax_accel::Accelerator;
-use autoax_circuit::charlib::{build_library, ClassCounts, LibraryConfig};
+use autoax_circuit::charlib::{ClassCounts, LibraryConfig};
 use autoax_image::synthetic::benchmark_suite;
 use autoax_ml::EngineKind;
+use autoax_store::{load_or_build_library, parse_cache_flags};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = std::env::args().any(|a| a == "quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let (cache_dir, cache_mode) = parse_cache_flags(&args);
     let (counts, n_images, train_n, evals) = if quick {
         (ClassCounts::tiny(), 2, 60, 3000)
     } else {
@@ -29,11 +35,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("== building library ==");
-    let lib = build_library(&LibraryConfig {
-        counts,
-        ..LibraryConfig::default()
-    });
-    println!("library: {} circuits", lib.total_size());
+    let lib_out = load_or_build_library(
+        &LibraryConfig {
+            counts,
+            ..LibraryConfig::default()
+        },
+        cache_dir.as_deref(),
+        cache_mode,
+    );
+    let lib = lib_out.lib;
+    println!(
+        "library: {} circuits{}",
+        lib.total_size(),
+        if lib_out.cache_hit {
+            " (warm-started from cache)"
+        } else {
+            ""
+        }
+    );
 
     let accel = SobelEd::new();
     let images = benchmark_suite(n_images, 192, 128, 7);

@@ -11,10 +11,16 @@
 //!   generated approximate-component library;
 //! * [`autoax_ml`] — from-scratch regression engines and fidelity;
 //! * [`autoax_image`] — images, synthetic benchmark suite, SSIM/PSNR;
-//! * [`autoax_accel`] — the three benchmark accelerators.
+//! * [`autoax_accel`] — the three benchmark accelerators;
+//! * [`autoax_store`] — versioned binary codec and the content-addressed
+//!   cache behind library/pipeline warm starts.
+//!
+//! See `docs/ARCHITECTURE.md` for how the paper's three-step methodology
+//! maps onto the crates and how data flows between them.
 
 pub use autoax;
 pub use autoax_accel;
 pub use autoax_circuit;
 pub use autoax_image;
 pub use autoax_ml;
+pub use autoax_store;

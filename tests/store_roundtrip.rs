@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) for the `autoax-store` codec: library
+//! entries and fitted regressors round-trip exactly, and any corruption
+//! of a sealed blob is detected.
+
+use autoax_circuit::approx::adders::AdderKind;
+use autoax_circuit::approx::muls::MulKind;
+use autoax_circuit::approx::subs::SubKind;
+use autoax_circuit::approx::{Behavior, FaCell};
+use autoax_circuit::charlib::{CircuitEntry, CircuitId};
+use autoax_circuit::{ErrorMetrics, HwReport, OpSignature};
+use autoax_ml::engine::EngineKind;
+use autoax_ml::Matrix;
+use autoax_store::codec::{Decoder, Encoder};
+use autoax_store::container::{seal, unseal};
+use autoax_store::{circuit_codec, ml_codec};
+use proptest::prelude::*;
+
+fn adder_kind_strategy() -> impl Strategy<Value = AdderKind> {
+    prop_oneof![
+        Just(AdderKind::Exact),
+        Just(AdderKind::ExactCla),
+        (1u32..8).prop_map(|k| AdderKind::TruncZero { k }),
+        (1u32..8).prop_map(|k| AdderKind::TruncPass { k }),
+        (1u32..8).prop_map(|k| AdderKind::Loa { k }),
+        (1u32..8).prop_map(|k| AdderKind::XorLower { k }),
+        (1u32..8).prop_map(|r| AdderKind::Aca { r }),
+        (1u32..4, 1u32..4).prop_map(|(r, p)| AdderKind::Gear { r, p }),
+    ]
+}
+
+fn fa_cell_strategy() -> impl Strategy<Value = FaCell> {
+    (any::<u8>(), any::<u8>()).prop_map(|(sum, carry)| FaCell { sum, carry })
+}
+
+fn behavior_strategy() -> impl Strategy<Value = Behavior> {
+    prop_oneof![
+        adder_kind_strategy().prop_map(|kind| Behavior::Adder { w: 8, kind }),
+        proptest::collection::vec(fa_cell_strategy(), 8..9).prop_map(|cells| {
+            Behavior::Adder {
+                w: 8,
+                kind: AdderKind::CellRipple {
+                    cells: cells.into(),
+                },
+            }
+        }),
+        (1u32..10).prop_map(|k| Behavior::Subtractor {
+            w: 10,
+            kind: SubKind::TruncZero { k },
+        }),
+        (0u32..14, 0u32..8).prop_map(|(vbl, hbl)| Behavior::Multiplier {
+            wa: 8,
+            wb: 8,
+            kind: MulKind::Bam { vbl, hbl },
+        }),
+        any::<u16>().prop_map(|leaf_mask| Behavior::Multiplier {
+            wa: 8,
+            wb: 8,
+            kind: MulKind::Udm { leaf_mask },
+        }),
+    ]
+}
+
+fn entry_strategy() -> impl Strategy<Value = CircuitEntry> {
+    (
+        behavior_strategy(),
+        any::<u32>(),
+        (0.0f64..1e4, 0.0f64..10.0, 0.0f64..100.0),
+        (0.0f64..1e3, any::<u64>(), 0.0f64..1.0),
+    )
+        .prop_map(|(behavior, id, (area, delay, power), (mae, wce, er))| {
+            let label = behavior.label();
+            CircuitEntry {
+                id: CircuitId(id),
+                behavior,
+                label,
+                hw: HwReport {
+                    area,
+                    delay,
+                    power,
+                    energy: area * 0.35 + power,
+                    cells: (area / 2.0) as usize,
+                },
+                err: ErrorMetrics {
+                    mae,
+                    wce,
+                    er,
+                    mse: mae * mae,
+                    var_ed: mae * 0.5,
+                    mre: er * 0.25,
+                    samples: 65536,
+                },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any library entry round-trips exactly: behaviour, label and the
+    /// full characterization tables, bit for bit.
+    #[test]
+    fn library_entries_round_trip(entry in entry_strategy()) {
+        let mut e = Encoder::new();
+        circuit_codec::put_circuit_entry(&mut e, &entry);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let rt = circuit_codec::take_circuit_entry(&mut d).unwrap();
+        d.finish().unwrap();
+        prop_assert_eq!(rt.id, entry.id);
+        prop_assert_eq!(&rt.behavior, &entry.behavior);
+        prop_assert_eq!(&rt.label, &entry.label);
+        prop_assert_eq!(rt.hw.area.to_bits(), entry.hw.area.to_bits());
+        prop_assert_eq!(rt.hw.delay.to_bits(), entry.hw.delay.to_bits());
+        prop_assert_eq!(rt.hw.power.to_bits(), entry.hw.power.to_bits());
+        prop_assert_eq!(rt.hw.energy.to_bits(), entry.hw.energy.to_bits());
+        prop_assert_eq!(rt.hw.cells, entry.hw.cells);
+        prop_assert_eq!(rt.err.mae.to_bits(), entry.err.mae.to_bits());
+        prop_assert_eq!(rt.err.wce, entry.err.wce);
+        prop_assert_eq!(rt.err.mse.to_bits(), entry.err.mse.to_bits());
+        prop_assert_eq!(rt.err.samples, entry.err.samples);
+        // decoded behaviours also *evaluate* identically
+        for (a, b) in [(0u64, 0u64), (3, 250), (255, 255), (77, 13)] {
+            prop_assert_eq!(rt.behavior.eval(a, b), entry.behavior.eval(a, b));
+        }
+    }
+
+    /// Any single-bit corruption anywhere in a sealed blob is detected.
+    #[test]
+    fn sealed_blobs_detect_any_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let blob = seal(*b"PROP", payload);
+        prop_assert!(unseal(&blob, *b"PROP").is_ok());
+        let mut corrupt = blob.clone();
+        let pos = ((pos_frac * blob.len() as f64) as usize).min(blob.len() - 1);
+        corrupt[pos] ^= 1 << bit;
+        prop_assert!(
+            unseal(&corrupt, *b"PROP").is_err(),
+            "flip at byte {} bit {} went undetected", pos, bit
+        );
+    }
+
+    /// Every supported engine round-trips to bitwise-identical
+    /// predictions, for arbitrary seeds.
+    #[test]
+    fn serialized_regressors_predict_bitwise_identically(seed in any::<u64>()) {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![((i * 7) % 23) as f64 / 22.0, ((i * 13) % 17) as f64 / 16.0])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 + r[1] * r[1]).collect();
+        let x = Matrix::from_rows(&rows);
+        for kind in [
+            EngineKind::RandomForest,
+            EngineKind::DecisionTree,
+            EngineKind::BayesianRidge,
+            EngineKind::StochasticGradientDescent,
+        ] {
+            let mut m = kind.make(seed);
+            m.fit(&x, &y).unwrap();
+            let mut e = Encoder::new();
+            ml_codec::put_regressor(&mut e, m.as_ref()).unwrap();
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            let rt = ml_codec::take_regressor(&mut d).unwrap();
+            d.finish().unwrap();
+            for row in x.rows_iter() {
+                prop_assert_eq!(
+                    m.predict_row(row).to_bits(),
+                    rt.predict_row(row).to_bits(),
+                    "{} diverged after round-trip", kind
+                );
+            }
+        }
+    }
+
+    /// Raw netlist behaviours (the mutant family) survive the netlist
+    /// codec with identical structure and function.
+    #[test]
+    fn mutant_netlists_round_trip(seed in any::<u64>(), n_muts in 1u32..6) {
+        use autoax_circuit::approx::mutate::mutate_netlist;
+        let base = Behavior::exact_for(OpSignature::ADD8).build_netlist();
+        let mutated = mutate_netlist(&base, n_muts, seed);
+        let mut e = Encoder::new();
+        circuit_codec::put_netlist(&mut e, &mutated);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let rt = circuit_codec::take_netlist(&mut d).unwrap();
+        d.finish().unwrap();
+        prop_assert_eq!(&rt, &mutated);
+    }
+}
