@@ -1,0 +1,139 @@
+//! Criterion bench: the [`SearchStrategy`] engine compared head-to-head —
+//! estimate throughput (evals/s) per strategy on the real RF-model
+//! estimator, plus the **columnar-vs-scalar** hot-path comparison: the
+//! same island hill climb driven through the allocation-free
+//! `estimate_slice` slab gather versus the legacy path that materializes
+//! a `Configuration` per candidate. The columnar path must be at least as
+//! fast (it performs zero per-candidate heap allocations).
+//!
+//! Before timing, the bench prints the jointly normalized hypervolume of
+//! each strategy's front at the benchmark budget, so throughput and
+//! front quality can be read side by side.
+
+use autoax::evaluate::Evaluator;
+use autoax::model::{fit_models, EvaluatedSet, ModelEstimator};
+use autoax::pareto::{joint_hypervolumes, TradeoffPoint};
+use autoax::preprocess::{preprocess, PreprocessOptions};
+use autoax::search::{run_search, ConfigSlice, Estimator, SearchAlgo, SearchOptions};
+use autoax::Configuration;
+use autoax_accel::sobel::SobelEd;
+use autoax_circuit::charlib::{build_library, LibraryConfig};
+use autoax_image::synthetic::benchmark_suite;
+use autoax_ml::EngineKind;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Forces the legacy scalar hot path: delegates per-row and batch
+/// estimation to the real model estimator but keeps the *default*
+/// `estimate_slice` (materialize a `Configuration` per candidate, then
+/// batch) — the pre-columnar behaviour, isolated as a baseline.
+struct ScalarPlane<'a>(ModelEstimator<'a>);
+
+impl Estimator for ScalarPlane<'_> {
+    fn estimate(&self, c: &Configuration) -> TradeoffPoint {
+        self.0.estimate(c)
+    }
+
+    fn estimate_batch(&self, configs: &[Configuration]) -> Vec<TradeoffPoint> {
+        self.0.estimate_batch(configs)
+    }
+
+    // estimate_slice intentionally NOT overridden: the default
+    // materializes every candidate — the scalar baseline.
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let accel = SobelEd::new();
+    let lib = build_library(&LibraryConfig::tiny());
+    let images = benchmark_suite(2, 96, 64, 3);
+    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+    let evaluator = Evaluator::new(&accel, &lib, &pre.space, &images);
+    let train = EvaluatedSet::generate(&evaluator, &pre.space, 60, 1);
+    let models = fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit");
+    let columnar = ModelEstimator::new(&models, &pre.space, &lib);
+    let scalar = ScalarPlane(ModelEstimator::new(&models, &pre.space, &lib));
+
+    let evals = 50_000usize;
+    let opts_for = |algo: SearchAlgo| SearchOptions {
+        strategy: algo,
+        max_evals: evals,
+        stagnation_limit: 50,
+        seed: 3,
+        ..SearchOptions::default()
+    };
+    let budgeted = [SearchAlgo::Hill, SearchAlgo::Nsga2, SearchAlgo::Random];
+
+    // Front quality at the benchmark budget, one shared normalization.
+    let fronts: Vec<Vec<TradeoffPoint>> = budgeted
+        .iter()
+        .map(|&algo| run_search(&pre.space, &columnar, &opts_for(algo)).points())
+        .collect();
+    let refs: Vec<&[TradeoffPoint]> = fronts.iter().map(|f| f.as_slice()).collect();
+    let hv = joint_hypervolumes(&refs);
+    for (algo, (front, h)) in budgeted.iter().zip(fronts.iter().zip(hv.iter())) {
+        println!(
+            "search_strategies: {algo} at {evals} evals -> {} front members, hypervolume {h:.5}",
+            front.len()
+        );
+    }
+
+    let mut group = c.benchmark_group("search_strategies");
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(evals as u64));
+    for algo in budgeted {
+        let opts = opts_for(algo);
+        group.bench_function(&format!("{algo}_columnar"), |b| {
+            b.iter(|| black_box(run_search(&pre.space, &columnar, &opts)))
+        });
+    }
+    // Scalar-vs-columnar: identical search, different candidate plane.
+    let hill = opts_for(SearchAlgo::Hill);
+    group.bench_function("hill_scalar_plane_baseline", |b| {
+        b.iter(|| black_box(run_search(&pre.space, &scalar, &hill)))
+    });
+    group.finish();
+}
+
+/// The raw candidate plane, isolated from search logic and model cost:
+/// proposing one round of neighbours into the reused slab versus
+/// allocating a `Configuration` per candidate.
+fn bench_plane(c: &mut Criterion) {
+    use autoax::search::ConfigBatch;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let accel = SobelEd::new();
+    let lib = build_library(&LibraryConfig::tiny());
+    let images = benchmark_suite(1, 48, 32, 3);
+    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+    let stride = pre.space.slot_count();
+    let n = 4096usize;
+    let mut group = c.benchmark_group("candidate_plane");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("columnar_neighbor_into", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let parent = pre.space.random(&mut rng);
+        let mut batch = ConfigBatch::with_capacity(stride, n);
+        b.iter(|| {
+            batch.clear();
+            for _ in 0..n {
+                pre.space
+                    .neighbor_into(parent.genes(), batch.push_row(), &mut rng);
+            }
+            black_box(ConfigSlice::new(black_box(batch.row(n - 1)), stride).len())
+        })
+    });
+    group.bench_function("scalar_neighbor_alloc", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let parent = pre.space.random(&mut rng);
+        b.iter(|| {
+            let v: Vec<Configuration> = (0..n)
+                .map(|_| pre.space.neighbor(&parent, &mut rng))
+                .collect();
+            black_box(v.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_plane);
+criterion_main!(benches);

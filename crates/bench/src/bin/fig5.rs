@@ -1,8 +1,9 @@
 //! Regenerates **Figure 5**: the Pareto fronts (SSIM vs area and SSIM vs
-//! energy) obtained by the proposed method, random-sampling construction
-//! and the manual uniform-selection approach, for all three accelerators.
+//! energy) obtained by the proposed method, NSGA-II, random-sampling
+//! construction and the manual uniform-selection approach, for all three
+//! accelerators.
 //!
-//! All three methods get the same *real-evaluation* budget; CSV series
+//! All four methods get the same *real-evaluation* budget; CSV series
 //! are exported per accelerator and method, and a dominance summary
 //! quantifies the paper's visual conclusion (proposed ⪰ RS ≫ uniform for
 //! the complex accelerators).
@@ -12,10 +13,10 @@
 //! ```
 
 use autoax::evaluate::{Evaluator, RealEval};
-use autoax::model::{fit_models, EvaluatedSet};
-use autoax::pareto::{ParetoFront, TradeoffPoint};
+use autoax::model::{fit_models, EvaluatedSet, ModelEstimator};
+use autoax::pareto::{hypervolume2, ParetoFront, TradeoffPoint};
 use autoax::preprocess::{preprocess, PreprocessOptions};
-use autoax::search::{heuristic_pareto, uniform_selection, SearchOptions};
+use autoax::search::{run_search, uniform_selection, SearchAlgo, SearchOptions};
 use autoax::Configuration;
 use autoax_accel::gaussian_fixed::FixedGaussian;
 use autoax_accel::gaussian_generic::GenericGaussian;
@@ -48,26 +49,15 @@ fn real_front(
     front.into_sorted().into_iter().map(|(_, p)| p).collect()
 }
 
-/// 2-D hypervolume (maximize SSIM in `[0,1]`, minimize area) against the
-/// reference point (ssim = 0, area = `ref_area`): the measure of the
-/// region dominated by the front. Larger is better.
+/// 2-D hypervolume (maximize SSIM, minimize area) of really evaluated
+/// members against the reference point (ssim = 0, area = `ref_area`) —
+/// [`autoax::pareto::hypervolume2`] on the real objectives.
 fn hypervolume(members: &[(Configuration, RealEval)], ref_area: f64) -> f64 {
-    let mut pts: Vec<(f64, f64)> = members
+    let pts: Vec<TradeoffPoint> = members
         .iter()
-        .map(|(_, r)| (r.ssim, r.hw.area))
-        .filter(|&(_, a)| a <= ref_area)
+        .map(|(_, r)| TradeoffPoint::new(r.ssim, r.hw.area))
         .collect();
-    pts.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-    // In the slab between consecutive areas, the attainable SSIM is the
-    // best among all points at or below the slab's lower edge.
-    let mut hv = 0.0;
-    let mut best = 0.0f64;
-    for (i, &(ssim, area)) in pts.iter().enumerate() {
-        best = best.max(ssim);
-        let upper = pts.get(i + 1).map(|p| p.1).unwrap_or(ref_area);
-        hv += best * (upper - area);
-    }
-    hv
+    hypervolume2(&pts, TradeoffPoint::new(0.0, ref_area))
 }
 
 fn main() {
@@ -103,10 +93,7 @@ fn main() {
         let train = EvaluatedSet::generate(&evaluator, &pre.space, budget, 1);
         let models =
             fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit models");
-        let estimator = |c: &Configuration| {
-            let (q, hw) = models.estimate(&pre.space, &lib, c);
-            TradeoffPoint::new(q, hw)
-        };
+        let estimator = ModelEstimator::new(&models, &pre.space, &lib);
         let opts = SearchOptions {
             max_evals: search_evals,
             stagnation_limit: 50,
@@ -114,10 +101,22 @@ fn main() {
             ..SearchOptions::default()
         };
         // proposed: Algorithm 1 on models, then real evaluation
-        let hill = heuristic_pareto(&pre.space, &estimator, &opts);
+        let hill = run_search(&pre.space, &estimator, &opts);
         let proposed_configs: Vec<Configuration> =
             hill.into_sorted().into_iter().map(|(_, c)| c).collect();
         let proposed = real_front(&evaluator, proposed_configs, eval_cap);
+        // NSGA-II at the same estimate budget, same real-eval budget
+        let nsga = run_search(
+            &pre.space,
+            &estimator,
+            &SearchOptions {
+                strategy: SearchAlgo::Nsga2,
+                ..opts
+            },
+        );
+        let nsga_configs: Vec<Configuration> =
+            nsga.into_sorted().into_iter().map(|(_, c)| c).collect();
+        let nsga_front = real_front(&evaluator, nsga_configs, eval_cap);
         // RS: random configurations with the *same real-evaluation budget*
         // (the paper's blue points: a 3 h random generate-and-evaluate run)
         let rs_front = {
@@ -132,6 +131,7 @@ fn main() {
 
         for (name, members) in [
             ("proposed", &proposed),
+            ("nsga2", &nsga_front),
             ("rs", &rs_front),
             ("uniform", &uniform),
         ] {
@@ -159,34 +159,42 @@ fn main() {
         }
         let ref_area = proposed
             .iter()
+            .chain(nsga_front.iter())
             .chain(rs_front.iter())
             .chain(uniform.iter())
             .map(|(_, r)| r.hw.area)
             .fold(0.0f64, f64::max)
             * 1.05;
         let hv_p = hypervolume(&proposed, ref_area);
+        let hv_n = hypervolume(&nsga_front, ref_area);
         let hv_r = hypervolume(&rs_front, ref_area);
         let hv_u = hypervolume(&uniform, ref_area);
         println!(
-            "front sizes: proposed {}, rs {}, uniform {}",
+            "front sizes: proposed {}, nsga2 {}, rs {}, uniform {}",
             proposed.len(),
+            nsga_front.len(),
             rs_front.len(),
             uniform.len()
         );
-        println!("hypervolume (ssim x area): proposed {hv_p:.1}, rs {hv_r:.1}, uniform {hv_u:.1}");
+        println!(
+            "hypervolume (ssim x area): proposed {hv_p:.1}, nsga2 {hv_n:.1}, rs {hv_r:.1}, \
+             uniform {hv_u:.1}"
+        );
         summary.push(vec![
             accel.name().to_string(),
             format!("{hv_p:.2}"),
+            format!("{hv_n:.2}"),
             format!("{hv_r:.2}"),
             format!("{hv_u:.2}"),
             proposed.len().to_string(),
+            nsga_front.len().to_string(),
             rs_front.len().to_string(),
             uniform.len().to_string(),
         ]);
     }
     write_csv(
         "fig5_summary.csv",
-        "accelerator,hv_proposed,hv_rs,hv_uniform,n_proposed,n_rs,n_uniform",
+        "accelerator,hv_proposed,hv_nsga2,hv_rs,hv_uniform,n_proposed,n_nsga2,n_rs,n_uniform",
         &summary,
     );
     println!(

@@ -1,6 +1,9 @@
-//! Regenerates **Table 4**: distances of the fronts found by the proposed
-//! algorithm and by random sampling from the optimal Pareto front of the
-//! reduced Sobel space, at budgets of 10³/10⁴/10⁵ model evaluations.
+//! Regenerates **Table 4**: distances of the fronts found by every
+//! budgeted search strategy (the proposed island hill climb, NSGA-II and
+//! random sampling, plus the manual uniform selection) from the optimal
+//! Pareto front of the reduced Sobel space, at budgets of 10³/10⁴/10⁵
+//! model evaluations — extended with the hypervolume indicator so the
+//! strategies are comparable on one scalar as well.
 //!
 //! As in the paper, the "optimal" front is computed by exhaustively
 //! enumerating the reduced configuration space *under the estimation
@@ -14,11 +17,10 @@
 //! ```
 
 use autoax::evaluate::Evaluator;
-use autoax::model::{fit_models, EvaluatedSet};
-use autoax::pareto::{front_distances, TradeoffPoint};
+use autoax::model::{fit_models, EvaluatedSet, ModelEstimator};
+use autoax::pareto::{front_distances, joint_hypervolumes, TradeoffPoint};
 use autoax::preprocess::{preprocess, PreprocessOptions};
-use autoax::search::{exhaustive_front, heuristic_pareto, random_sampling, SearchOptions};
-use autoax::Configuration;
+use autoax::search::{exhaustive_front, run_search, uniform_selection, SearchAlgo, SearchOptions};
 use autoax_accel::sobel::SobelEd;
 use autoax_bench::{sobel_image_suite, write_csv, Scale};
 use autoax_circuit::charlib::build_library;
@@ -57,10 +59,7 @@ fn main() {
     let _test = test_n; // test set not needed here
     let models =
         fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit models");
-    let estimator = |c: &Configuration| {
-        let (q, hw) = models.estimate(&pre.space, &lib, c);
-        TradeoffPoint::new(q, hw)
-    };
+    let estimator = ModelEstimator::new(&models, &pre.space, &lib);
 
     println!("computing the optimal front by exhaustive enumeration ...");
     let t0 = Instant::now();
@@ -72,10 +71,65 @@ fn main() {
         pre.space.size()
     );
 
+    // Every budgeted strategy at every budget, plus the manual uniform
+    // selection once (its size is set by its level grid, not the budget).
+    let budgets = [1_000usize, 10_000, 100_000];
+    let strategies = [SearchAlgo::Hill, SearchAlgo::Nsga2, SearchAlgo::Random];
+    let mut fronts: Vec<(String, usize, autoax::ParetoFront<autoax::Configuration>)> = Vec::new();
+    for &budget in &budgets {
+        for algo in strategies {
+            let opts = SearchOptions {
+                strategy: algo,
+                max_evals: budget,
+                stagnation_limit: 50,
+                seed: 7,
+                ..SearchOptions::default()
+            };
+            fronts.push((
+                algo.name().to_string(),
+                budget,
+                run_search(&pre.space, &estimator, &opts),
+            ));
+        }
+    }
+    let uniform_opts = SearchOptions {
+        strategy: SearchAlgo::Uniform,
+        uniform_levels: 40,
+        seed: 7,
+        ..SearchOptions::default()
+    };
+    let uniform = run_search(&pre.space, &estimator, &uniform_opts);
+    // The uniform baseline's real cost is the deduplicated level-grid
+    // size, not the nominal level count.
+    let uniform_evals = uniform_selection(&pre.space, uniform_opts.uniform_levels).len();
+    fronts.push(("uniform".to_string(), uniform_evals, uniform));
+
+    // Hypervolumes on one shared normalization (all fronts + optimal).
+    let point_sets: Vec<Vec<TradeoffPoint>> = fronts
+        .iter()
+        .map(|(_, _, f)| f.points())
+        .chain(std::iter::once(optimal.points()))
+        .collect();
+    let refs: Vec<&[TradeoffPoint]> = point_sets.iter().map(|v| v.as_slice()).collect();
+    let hv = joint_hypervolumes(&refs);
+    let hv_optimal = *hv.last().unwrap();
+
     println!(
-        "\nTable 4: distance to/from the optimal front (lower is better)\n\
-         {:<10} {:>7} {:>8} | {:>9} {:>9} | {:>9} {:>9}",
-        "Algorithm", "#eval", "#Pareto", "to-avg", "to-max", "from-avg", "from-max"
+        "\nTable 4: distance to/from the optimal front (lower is better), \
+         hypervolume (higher is better)\n\
+         {:<10} {:>7} {:>8} | {:>9} {:>9} | {:>9} {:>9} | {:>8}",
+        "Algorithm", "#eval", "#Pareto", "to-avg", "to-max", "from-avg", "from-max", "hv"
+    );
+    println!(
+        "{:<10} {:>7} {:>8} | {:>9} {:>9} | {:>9} {:>9} | {:>8.5}",
+        "optimal",
+        format!("{:.0}", pre.space.size()),
+        optimal.len(),
+        "",
+        "",
+        "",
+        "",
+        hv_optimal
     );
     let mut rows = vec![vec![
         "optimal".to_string(),
@@ -85,46 +139,37 @@ fn main() {
         String::new(),
         String::new(),
         String::new(),
+        format!("{hv_optimal:.5}"),
     ]];
-    let budgets = [1_000usize, 10_000, 100_000];
-    let mut last: Option<(f64, f64)> = None; // (proposed avg, rs avg) at max budget
-    for &budget in &budgets {
-        for (name, is_hill) in [("Proposed", true), ("Random", false)] {
-            let opts = SearchOptions {
-                max_evals: budget,
-                stagnation_limit: 50,
-                seed: 7,
-                ..SearchOptions::default()
-            };
-            let front = if is_hill {
-                heuristic_pareto(&pre.space, &estimator, &opts)
-            } else {
-                random_sampling(&pre.space, &estimator, &opts)
-            };
-            let d = front_distances(&front.points(), &optimal.points());
-            println!(
-                "{:<10} {:>7} {:>8} | {:>9.5} {:>9.5} | {:>9.5} {:>9.5}",
-                name,
-                budget,
-                front.len(),
-                d.to_optimal.0,
-                d.to_optimal.1,
-                d.from_optimal.0,
-                d.from_optimal.1
-            );
-            rows.push(vec![
-                name.to_string(),
-                budget.to_string(),
-                front.len().to_string(),
-                format!("{:.5}", d.to_optimal.0),
-                format!("{:.5}", d.to_optimal.1),
-                format!("{:.5}", d.from_optimal.0),
-                format!("{:.5}", d.from_optimal.1),
-            ]);
-            if budget == *budgets.last().unwrap() {
-                if is_hill {
-                    last = Some((d.from_optimal.0, f64::NAN));
-                } else if let Some((h, _)) = last {
+    let mut last: Option<(f64, f64)> = None; // (hill avg, rs avg) at max budget
+    for ((name, budget, front), &front_hv) in fronts.iter().zip(hv.iter()) {
+        let d = front_distances(&front.points(), &optimal.points());
+        println!(
+            "{:<10} {:>7} {:>8} | {:>9.5} {:>9.5} | {:>9.5} {:>9.5} | {:>8.5}",
+            name,
+            budget,
+            front.len(),
+            d.to_optimal.0,
+            d.to_optimal.1,
+            d.from_optimal.0,
+            d.from_optimal.1,
+            front_hv
+        );
+        rows.push(vec![
+            name.clone(),
+            budget.to_string(),
+            front.len().to_string(),
+            format!("{:.5}", d.to_optimal.0),
+            format!("{:.5}", d.to_optimal.1),
+            format!("{:.5}", d.from_optimal.0),
+            format!("{:.5}", d.from_optimal.1),
+            format!("{front_hv:.5}"),
+        ]);
+        if *budget == *budgets.last().unwrap() {
+            if name == "hill" {
+                last = Some((d.from_optimal.0, f64::NAN));
+            } else if name == "random" {
+                if let Some((h, _)) = last {
                     last = Some((h, d.from_optimal.0));
                 }
             }
@@ -132,7 +177,7 @@ fn main() {
     }
     write_csv(
         "table4.csv",
-        "algorithm,evals,pareto,to_avg,to_max,from_avg,from_max",
+        "algorithm,evals,pareto,to_avg,to_max,from_avg,from_max,hypervolume",
         &rows,
     );
     if let Some((hill, rs)) = last {

@@ -43,10 +43,13 @@ fn main() {
         cache_mode,
         train_configs: train_n,
         test_configs: test_n,
-        search_evals: match scale {
-            Scale::Quick => 5_000,
-            Scale::Default => 50_000,
-            Scale::Paper => 100_000,
+        search: autoax::SearchOptions {
+            max_evals: match scale {
+                Scale::Quick => 5_000,
+                Scale::Default => 50_000,
+                Scale::Paper => 100_000,
+            },
+            ..autoax::SearchOptions::default()
         },
         final_eval_cap: match scale {
             Scale::Quick => 40,
@@ -57,7 +60,10 @@ fn main() {
     };
     // the GF studies use bigger search budgets but the same model sizes
     let opts_gf = PipelineOptions {
-        search_evals: opts_sobel.search_evals * 2,
+        search: autoax::SearchOptions {
+            max_evals: opts_sobel.search.max_evals * 2,
+            ..opts_sobel.search
+        },
         train_configs: (train_n / 2).max(30),
         test_configs: (test_n / 2).max(20),
         final_eval_cap: opts_sobel.final_eval_cap / 2,

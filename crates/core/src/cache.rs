@@ -18,10 +18,11 @@
 //! * corrupt or version-mismatched entries fail validation in the store
 //!   layer and are transparently recomputed.
 //!
-//! Search-stage options (`search_evals`, islands, batch, threads, caps)
-//! are deliberately *not* part of the key: Step 3 always runs live, so
-//! one warm-started library/model pair serves any number of search
-//! budgets — the reuse pattern the paper itself argues for.
+//! Search-stage options (the embedded `SearchOptions`: strategy, budget,
+//! islands, batch, threads — and the final-eval cap) are deliberately
+//! *not* part of the key: Step 3 always runs live, so one warm-started
+//! library/model pair serves any search strategy and budget — the reuse
+//! pattern the paper itself argues for.
 
 use crate::model::{FidelityReport, FittedModels};
 use crate::pipeline::PipelineOptions;
@@ -345,14 +346,19 @@ mod tests {
         });
         assert_ne!(base, pipeline_cache_key(&accel, &lib2, &images, &opts));
 
-        // search-stage knobs must NOT change the key (Step 3 is live)
+        // search-stage knobs must NOT change the key (Step 3 is live):
+        // neither the budget/islands nor the strategy choice
         let k = pipeline_cache_key(
             &accel,
             &lib,
             &images,
             &PipelineOptions {
-                search_evals: opts.search_evals * 10,
-                search_islands: 2,
+                search: crate::search::SearchOptions {
+                    max_evals: opts.search.max_evals * 10,
+                    islands: 2,
+                    strategy: crate::search::SearchAlgo::Nsga2,
+                    ..opts.search
+                },
                 final_eval_cap: 7,
                 ..opts.clone()
             },

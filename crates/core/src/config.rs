@@ -9,6 +9,11 @@ use autoax_circuit::charlib::{CircuitEntry, CircuitId, ComponentLibrary};
 use autoax_circuit::OpSignature;
 use rand::Rng;
 
+/// Largest space (in configurations) the exhaustive paths will enumerate
+/// — shared by [`ConfigSpace::iter_all`], the exhaustive search strategy
+/// and the pipeline's feasibility guard, so the limit cannot drift apart.
+pub const MAX_ENUMERABLE_CONFIGS: f64 = 1e8;
+
 /// One slot's candidate list with precomputed per-candidate WMED scores.
 #[derive(Debug, Clone)]
 pub struct SlotChoices {
@@ -38,8 +43,36 @@ pub struct ConfigSpace {
 
 /// An assignment of one candidate index per slot (indices into
 /// [`SlotChoices::members`], *not* raw circuit ids).
+///
+/// The genome is private: the search hot path works on the flat slab of a
+/// [`crate::search::ConfigBatch`] and only materializes a `Configuration`
+/// (via [`Configuration::from_genes`]) for Pareto-front members and final
+/// results, so there is no field to poke that could bypass the columnar
+/// plane.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Configuration(pub Vec<u16>);
+pub struct Configuration(Vec<u16>);
+
+impl Configuration {
+    /// Builds a configuration from per-slot candidate indices.
+    pub fn from_genes(genes: Vec<u16>) -> Self {
+        Configuration(genes)
+    }
+
+    /// The per-slot candidate indices.
+    pub fn genes(&self) -> &[u16] {
+        &self.0
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the zero-slot configuration.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
 
 impl ConfigSpace {
     /// Builds a space from per-slot candidate lists.
@@ -84,12 +117,22 @@ impl ConfigSpace {
 
     /// A uniformly random configuration.
     pub fn random(&self, rng: &mut impl Rng) -> Configuration {
-        Configuration(
-            self.slots
-                .iter()
-                .map(|s| rng.gen_range(0..s.members.len()) as u16)
-                .collect(),
-        )
+        let mut genes = vec![0u16; self.slots.len()];
+        self.random_into(&mut genes, rng);
+        Configuration(genes)
+    }
+
+    /// Writes a uniformly random genome into `genes` (one slot per entry)
+    /// without allocating — the columnar twin of [`ConfigSpace::random`],
+    /// consuming the RNG identically.
+    ///
+    /// # Panics
+    /// Panics if `genes.len()` does not match the slot count.
+    pub fn random_into(&self, genes: &mut [u16], rng: &mut impl Rng) {
+        assert_eq!(genes.len(), self.slots.len(), "genome shape mismatch");
+        for (g, s) in genes.iter_mut().zip(self.slots.iter()) {
+            *g = rng.gen_range(0..s.members.len()) as u16;
+        }
     }
 
     /// The all-exact configuration, assuming candidate lists contain the
@@ -113,16 +156,35 @@ impl ConfigSpace {
     /// circuit (guaranteed different when the slot has > 1 candidate).
     pub fn neighbor(&self, c: &Configuration, rng: &mut impl Rng) -> Configuration {
         let mut out = c.clone();
+        self.mutate_one_slot(&mut out.0, rng);
+        out
+    }
+
+    /// Writes the neighbour of genome `src` into `dst` without allocating
+    /// — the columnar twin of [`ConfigSpace::neighbor`], consuming the
+    /// RNG identically.
+    ///
+    /// # Panics
+    /// Panics if the genome lengths do not match the slot count.
+    pub fn neighbor_into(&self, src: &[u16], dst: &mut [u16], rng: &mut impl Rng) {
+        dst.copy_from_slice(src);
+        self.mutate_one_slot(dst, rng);
+    }
+
+    /// Re-picks one random slot's candidate in place (the Algorithm-1
+    /// neighbour move shared by [`ConfigSpace::neighbor`] and
+    /// [`ConfigSpace::neighbor_into`]).
+    fn mutate_one_slot(&self, genes: &mut [u16], rng: &mut impl Rng) {
+        assert_eq!(genes.len(), self.slots.len(), "genome shape mismatch");
         let slot = rng.gen_range(0..self.slots.len());
         let n = self.slots[slot].members.len();
         if n > 1 {
             let mut pick = rng.gen_range(0..n - 1) as u16;
-            if pick >= out.0[slot] {
+            if pick >= genes[slot] {
                 pick += 1;
             }
-            out.0[slot] = pick;
+            genes[slot] = pick;
         }
-        out
     }
 
     /// Resolves a configuration to library entries (one per slot).
@@ -159,11 +221,11 @@ impl ConfigSpace {
     /// order.
     ///
     /// # Panics
-    /// Panics if the space exceeds 10^8 configurations (use the heuristic
-    /// search instead).
+    /// Panics if the space exceeds [`MAX_ENUMERABLE_CONFIGS`] (use the
+    /// heuristic search instead).
     pub fn iter_all(&self) -> ExhaustiveIter<'_> {
         assert!(
-            self.size() <= 1e8,
+            self.size() <= MAX_ENUMERABLE_CONFIGS,
             "space too large for exhaustive iteration ({:.2e})",
             self.size()
         );

@@ -152,7 +152,8 @@ mod tests {
         let r_exact = ev.evaluate(&exact);
         // most aggressive configuration: last member of every slot
         // (highest WMED after the sort in preprocess)
-        let aggressive = Configuration(pre.space.sizes().iter().map(|&n| (n - 1) as u16).collect());
+        let aggressive =
+            Configuration::from_genes(pre.space.sizes().iter().map(|&n| (n - 1) as u16).collect());
         let r_aggr = ev.evaluate(&aggressive);
         assert!(r_aggr.ssim < r_exact.ssim, "approximation must hurt SSIM");
         assert!(

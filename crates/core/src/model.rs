@@ -152,11 +152,16 @@ impl FittedModels {
 }
 
 /// [`crate::search::Estimator`] adapter over fitted models: the glue
-/// between Step 2 (model construction) and Step 3 (model-based DSE). Its
-/// batched path — the one the island search drives — is
-/// [`FittedModels::estimate_batch`], so there is exactly one batched
-/// feature-encoding implementation to keep consistent with the scalar
-/// [`qor_features`]/[`hw_features`] path.
+/// between Step 2 (model construction) and Step 3 (model-based DSE).
+///
+/// Construction precomputes per-slot feature tables (WMED per candidate
+/// for the QoR model; `(area, power, delay)` per candidate for the
+/// hardware model), so the columnar hot path —
+/// [`crate::search::Estimator::estimate_slice`] — encodes a whole
+/// [`crate::search::ConfigSlice`] into the two feature matrices by pure
+/// table gather, with **zero per-candidate heap allocations**, and runs a
+/// single batched [`Regressor::predict`] per model. Per-row results are
+/// bitwise identical to the scalar [`qor_features`]/[`hw_features`] path.
 pub struct ModelEstimator<'a> {
     /// The fitted QoR and hardware models.
     pub models: &'a FittedModels,
@@ -164,16 +169,44 @@ pub struct ModelEstimator<'a> {
     pub space: &'a ConfigSpace,
     /// The component library backing hardware features.
     pub lib: &'a ComponentLibrary,
+    /// `qor_table[slot][member]` = WMED (the QoR feature).
+    qor_table: Vec<Vec<f64>>,
+    /// `hw_table[slot][member]` = `[area, power, delay]`.
+    hw_table: Vec<Vec<[f64; 3]>>,
 }
 
 impl<'a> ModelEstimator<'a> {
-    /// Creates the adapter.
+    /// Creates the adapter, precomputing the per-slot feature tables.
     pub fn new(
         models: &'a FittedModels,
         space: &'a ConfigSpace,
         lib: &'a ComponentLibrary,
     ) -> Self {
-        ModelEstimator { models, space, lib }
+        let qor_table = space
+            .slots()
+            .iter()
+            .map(|s| s.members.iter().map(|m| m.wmed).collect())
+            .collect();
+        let hw_table = space
+            .slots()
+            .iter()
+            .map(|s| {
+                s.members
+                    .iter()
+                    .map(|m| {
+                        let e = &lib.class(s.signature)[m.id.0 as usize];
+                        [e.hw.area, e.hw.power, e.hw.delay]
+                    })
+                    .collect()
+            })
+            .collect();
+        ModelEstimator {
+            models,
+            space,
+            lib,
+            qor_table,
+            hw_table,
+        }
     }
 }
 
@@ -189,6 +222,52 @@ impl crate::search::Estimator for ModelEstimator<'_> {
             .into_iter()
             .map(|(q, hw)| crate::pareto::TradeoffPoint::new(q, hw))
             .collect()
+    }
+
+    fn estimate_slice(
+        &self,
+        rows: crate::search::ConfigSlice<'_>,
+        out: &mut Vec<crate::pareto::TradeoffPoint>,
+    ) {
+        let n = rows.len();
+        if n == 0 {
+            return;
+        }
+        let slots = rows.stride();
+        debug_assert_eq!(slots, self.space.slot_count(), "genome shape mismatch");
+        // Gather both feature matrices straight from the slab — the same
+        // values qor_features/hw_features would produce, in the same
+        // order, so predictions are bitwise identical to the scalar path —
+        // into per-thread scratch buffers reused across calls (a search
+        // makes tens of thousands of slice calls; the gather itself must
+        // not allocate).
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        SCRATCH.with(|scratch| {
+            let (mut qdata, mut hdata) = scratch.take();
+            qdata.clear();
+            hdata.clear();
+            qdata.reserve(n * slots);
+            hdata.reserve(n * slots * 3);
+            for genome in rows.rows() {
+                for (slot, &g) in genome.iter().enumerate() {
+                    qdata.push(self.qor_table[slot][g as usize]);
+                    hdata.extend_from_slice(&self.hw_table[slot][g as usize]);
+                }
+            }
+            let qm = Matrix::from_vec(n, slots, qdata);
+            let hm = Matrix::from_vec(n, slots * 3, hdata);
+            let q = self.models.qor.predict(&qm);
+            let h = self.models.hw.predict(&hm);
+            scratch.replace((qm.into_vec(), hm.into_vec()));
+            out.extend(
+                q.into_iter()
+                    .zip(h)
+                    .map(|(q, hw)| crate::pareto::TradeoffPoint::new(q, hw)),
+            );
+        });
     }
 }
 
@@ -392,6 +471,23 @@ mod tests {
             let one = est.estimate(c);
             assert_eq!(one.qor.to_bits(), b.qor.to_bits());
             assert_eq!(one.cost.to_bits(), b.cost.to_bits());
+        }
+        // The columnar slab path (table gather) is bitwise identical too,
+        // at any slice granularity.
+        let slab = crate::search::ConfigBatch::from_configs(&configs);
+        for chunk in [1, 5, 17] {
+            let mut columnar = Vec::new();
+            let mut start = 0;
+            while start < slab.len() {
+                let end = (start + chunk).min(slab.len());
+                est.estimate_slice(slab.slice(start..end), &mut columnar);
+                start = end;
+            }
+            assert_eq!(columnar.len(), batch.len());
+            for (a, b) in columnar.iter().zip(batch.iter()) {
+                assert_eq!(a.qor.to_bits(), b.qor.to_bits(), "chunk={chunk}");
+                assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "chunk={chunk}");
+            }
         }
     }
 

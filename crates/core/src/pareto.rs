@@ -63,6 +63,15 @@ impl<T> ParetoFront<T> {
     /// [`TradeoffPoint::dominates`] and would pollute the front. Debug
     /// builds assert; release builds skip silently.
     pub fn try_insert(&mut self, p: TradeoffPoint, payload: T) -> bool {
+        self.try_insert_with(p, || payload)
+    }
+
+    /// [`ParetoFront::try_insert`] with a lazily built payload: `payload`
+    /// is only called when the point is actually accepted. This is what
+    /// keeps the columnar search loop allocation-free — a rejected
+    /// candidate (the overwhelmingly common case at 10⁵–10⁶ evals) never
+    /// materializes a [`crate::config::Configuration`].
+    pub fn try_insert_with(&mut self, p: TradeoffPoint, payload: impl FnOnce() -> T) -> bool {
         if !p.is_finite() {
             debug_assert!(p.is_finite(), "non-finite trade-off point {p:?}");
             return false;
@@ -75,7 +84,7 @@ impl<T> ParetoFront<T> {
             return false;
         }
         self.points.retain(|(q, _)| !p.dominates(q));
-        self.points.push((p, payload));
+        self.points.push((p, payload()));
         true
     }
 
@@ -195,6 +204,123 @@ pub fn front_distances(obtained: &[TradeoffPoint], optimal: &[TradeoffPoint]) ->
         to_optimal: directed_distance(&s, &p),
         from_optimal: directed_distance(&p, &s),
     }
+}
+
+/// Two-objective hypervolume indicator: the area of the region dominated
+/// by `points` inside the reference box — QoR maximized, cost minimized,
+/// `reference` the *worst* corner `(qor_lo, cost_hi)`. Larger is better;
+/// this is the quantitative lens under which [`crate::search`] strategies
+/// are compared (Zitzler's S-metric).
+///
+/// Points outside the reference box (QoR at or below `reference.qor`, or
+/// cost at or above `reference.cost`) contribute nothing. Dominated or
+/// duplicate members of `points` are harmless — the union of their boxes
+/// is what is measured.
+pub fn hypervolume2(points: &[TradeoffPoint], reference: TradeoffPoint) -> f64 {
+    let mut pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.is_finite() && p.qor > reference.qor && p.cost < reference.cost)
+        .map(|p| (p.qor, p.cost))
+        .collect();
+    pts.sort_by(|a, b| a.1.total_cmp(&b.1));
+    // Sweep cost upward: in the slab between consecutive costs the
+    // attainable QoR is the best among all points at or below the slab's
+    // lower edge.
+    let mut hv = 0.0;
+    let mut best = f64::NEG_INFINITY;
+    for (i, &(qor, cost)) in pts.iter().enumerate() {
+        best = best.max(qor);
+        let upper = pts.get(i + 1).map(|p| p.1).unwrap_or(reference.cost);
+        hv += (best - reference.qor) * (upper - cost);
+    }
+    hv
+}
+
+/// Three-objective hypervolume (QoR maximized, both costs minimized)
+/// against the worst-corner reference `[qor_lo, cost_a_hi, cost_b_hi]` —
+/// the volume counterpart of [`hypervolume2`] for the final
+/// (SSIM, area, energy) selection of [`ParetoFront3`].
+///
+/// Computed by slicing along the QoR axis: each slab between consecutive
+/// QoR levels contributes `height × area` where the area is the union of
+/// the cost rectangles of every point at or above the slab's top level
+/// (O(n² log n); front sizes here are tens, not thousands).
+pub fn hypervolume3(points: &[[f64; 3]], reference: [f64; 3]) -> f64 {
+    let boxed: Vec<[f64; 3]> = points
+        .iter()
+        .filter(|p| {
+            p.iter().all(|v| v.is_finite())
+                && p[0] > reference[0]
+                && p[1] < reference[1]
+                && p[2] < reference[2]
+        })
+        .copied()
+        .collect();
+    if boxed.is_empty() {
+        return 0.0;
+    }
+    // Distinct QoR levels, descending.
+    let mut levels: Vec<f64> = boxed.iter().map(|p| p[0]).collect();
+    levels.sort_by(|a, b| b.total_cmp(a));
+    levels.dedup();
+    let mut hv = 0.0;
+    for (k, &level) in levels.iter().enumerate() {
+        let floor = levels.get(k + 1).copied().unwrap_or(reference[0]);
+        let height = level - floor;
+        // 2-D union area of the cost rectangles [a, ref_a] × [b, ref_b]
+        // over points with qor >= level: keep the (a, b)-minimal set,
+        // sort by cost_a ascending (cost_b then strictly descends).
+        let mut rect: Vec<(f64, f64)> = boxed
+            .iter()
+            .filter(|p| p[0] >= level)
+            .map(|p| (p[1], p[2]))
+            .collect();
+        rect.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.total_cmp(&y.1)));
+        let mut area = 0.0;
+        let mut prev_b = reference[2];
+        for &(a, b) in &rect {
+            if b < prev_b {
+                area += (prev_b - b) * (reference[1] - a);
+                prev_b = b;
+            }
+        }
+        hv += height * area;
+    }
+    hv
+}
+
+/// Hypervolumes of several fronts on a *shared* normalization: all points
+/// of all fronts are jointly scaled into the unit square (as in
+/// [`normalize_joint`]) and each front's [`hypervolume2`] is measured
+/// against the worst corner `(0, 1)`. This makes the returned values
+/// directly comparable across fronts — the number the strategy-comparison
+/// benches and tables report.
+pub fn joint_hypervolumes(fronts: &[&[TradeoffPoint]]) -> Vec<f64> {
+    let mut qmin = f64::INFINITY;
+    let mut qmax = f64::NEG_INFINITY;
+    let mut cmin = f64::INFINITY;
+    let mut cmax = f64::NEG_INFINITY;
+    for p in fronts.iter().flat_map(|f| f.iter()) {
+        qmin = qmin.min(p.qor);
+        qmax = qmax.max(p.qor);
+        cmin = cmin.min(p.cost);
+        cmax = cmax.max(p.cost);
+    }
+    let qs = (qmax - qmin).max(1e-12);
+    let cs = (cmax - cmin).max(1e-12);
+    // Nudge the reference just outside the box so boundary points (the
+    // joint extremes) still contribute a sliver instead of vanishing.
+    let reference = TradeoffPoint::new(-1e-9, 1.0 + 1e-9);
+    fronts
+        .iter()
+        .map(|f| {
+            let scaled: Vec<TradeoffPoint> = f
+                .iter()
+                .map(|p| TradeoffPoint::new((p.qor - qmin) / qs, (p.cost - cmin) / cs))
+                .collect();
+            hypervolume2(&scaled, reference)
+        })
+        .collect()
 }
 
 /// A three-objective Pareto set used for the final selection ("Pareto
@@ -509,6 +635,120 @@ mod tests {
         // dominates "a"
         assert!(f.try_insert(0.91, 9.0, 4.0, "d"));
         assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn hypervolume2_single_point_is_its_box() {
+        // one point (qor 0.8, cost 2.0) against worst corner (0, 10):
+        // dominated region is [0, 0.8] x [2, 10] = 0.8 * 8 = 6.4
+        let hv = hypervolume2(
+            &[TradeoffPoint::new(0.8, 2.0)],
+            TradeoffPoint::new(0.0, 10.0),
+        );
+        assert!((hv - 6.4).abs() < 1e-12, "{hv}");
+    }
+
+    #[test]
+    fn hypervolume2_two_point_staircase_hand_computed() {
+        // points (0.5, 1) and (0.9, 4), ref (0, 10):
+        // slab [1,4): best qor 0.5 -> 0.5*3 = 1.5
+        // slab [4,10): best qor 0.9 -> 0.9*6 = 5.4
+        // total 6.9
+        let pts = [TradeoffPoint::new(0.5, 1.0), TradeoffPoint::new(0.9, 4.0)];
+        let hv = hypervolume2(&pts, TradeoffPoint::new(0.0, 10.0));
+        assert!((hv - 6.9).abs() < 1e-12, "{hv}");
+    }
+
+    #[test]
+    fn hypervolume2_ignores_dominated_and_out_of_box_points() {
+        let reference = TradeoffPoint::new(0.0, 10.0);
+        let base = [TradeoffPoint::new(0.5, 1.0), TradeoffPoint::new(0.9, 4.0)];
+        let hv_base = hypervolume2(&base, reference);
+        let noisy = [
+            base[0],
+            base[1],
+            TradeoffPoint::new(0.4, 5.0),      // dominated by (0.9, 4)
+            TradeoffPoint::new(0.95, 11.0),    // outside: cost beyond ref
+            TradeoffPoint::new(-0.1, 2.0),     // outside: qor below ref
+            TradeoffPoint::new(f64::NAN, 1.0), // non-finite
+        ];
+        assert_eq!(hypervolume2(&noisy, reference).to_bits(), hv_base.to_bits());
+        // empty front has zero hypervolume
+        assert_eq!(hypervolume2(&[], reference), 0.0);
+    }
+
+    #[test]
+    fn hypervolume2_dominating_front_has_larger_volume() {
+        let reference = TradeoffPoint::new(0.0, 10.0);
+        let worse = [TradeoffPoint::new(0.5, 5.0)];
+        let better = [TradeoffPoint::new(0.7, 3.0)];
+        assert!(hypervolume2(&better, reference) > hypervolume2(&worse, reference));
+    }
+
+    #[test]
+    fn hypervolume3_single_point_is_its_box() {
+        // point (0.5, 2, 3), ref (0, 10, 10):
+        // volume = 0.5 * (10-2) * (10-3) = 28
+        let hv = hypervolume3(&[[0.5, 2.0, 3.0]], [0.0, 10.0, 10.0]);
+        assert!((hv - 28.0).abs() < 1e-12, "{hv}");
+    }
+
+    #[test]
+    fn hypervolume3_two_points_hand_computed() {
+        // p1 = (1.0, 1, 5), p2 = (2.0, 2, 3), ref (0, 10, 10).
+        // Slab qor in (1, 2]: only p2 -> area (10-2)*(10-3) = 56, h = 1.
+        // Slab qor in (0, 1]: p1 and p2 -> union of [1,10]x[5,10] and
+        // [2,10]x[3,10] = 9*5 + 8*2 = 61, h = 1.
+        // total = 56 + 61 = 117
+        let hv = hypervolume3(&[[1.0, 1.0, 5.0], [2.0, 2.0, 3.0]], [0.0, 10.0, 10.0]);
+        assert!((hv - 117.0).abs() < 1e-12, "{hv}");
+    }
+
+    #[test]
+    fn hypervolume3_degenerate_third_objective_matches_2d() {
+        // With cost_b identical everywhere, hv3 = hv2 * (ref_b - b).
+        let pts2 = [TradeoffPoint::new(0.5, 1.0), TradeoffPoint::new(0.9, 4.0)];
+        let pts3: Vec<[f64; 3]> = pts2.iter().map(|p| [p.qor, p.cost, 7.0]).collect();
+        let hv2 = hypervolume2(&pts2, TradeoffPoint::new(0.0, 10.0));
+        let hv3 = hypervolume3(&pts3, [0.0, 10.0, 10.0]);
+        assert!((hv3 - hv2 * 3.0).abs() < 1e-12, "{hv3} vs {}", hv2 * 3.0);
+    }
+
+    #[test]
+    fn joint_hypervolumes_rank_fronts_consistently() {
+        let strong = vec![TradeoffPoint::new(0.95, 10.0), TradeoffPoint::new(0.6, 2.0)];
+        let weak = vec![TradeoffPoint::new(0.5, 9.0)];
+        let hv = joint_hypervolumes(&[&strong, &weak]);
+        assert_eq!(hv.len(), 2);
+        assert!(hv[0] > hv[1], "{hv:?}");
+        // normalized volumes live in (slightly above) the unit square
+        assert!(hv[0] <= 1.0 + 1e-6);
+        assert!(hv[1] >= 0.0);
+    }
+
+    #[test]
+    fn try_insert_with_builds_payload_only_on_accept() {
+        let mut f = ParetoFront::new();
+        let mut built = 0;
+        assert!(f.try_insert_with(TradeoffPoint::new(0.9, 10.0), || {
+            built += 1;
+            "a"
+        }));
+        assert_eq!(built, 1);
+        // dominated candidate: the payload closure must never run
+        let mut ran = false;
+        assert!(!f.try_insert_with(TradeoffPoint::new(0.5, 20.0), || {
+            ran = true;
+            "b"
+        }));
+        assert!(!ran, "payload built for a rejected candidate");
+        // duplicate point: also rejected without building
+        let mut ran2 = false;
+        assert!(!f.try_insert_with(TradeoffPoint::new(0.9, 10.0), || {
+            ran2 = true;
+            "c"
+        }));
+        assert!(!ran2);
     }
 
     #[test]

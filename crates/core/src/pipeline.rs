@@ -14,7 +14,7 @@ use crate::model::{
 };
 use crate::pareto::{ParetoFront, ParetoFront3, TradeoffPoint};
 use crate::preprocess::{preprocess_with_pmfs, PreprocessOptions, Preprocessed};
-use crate::search::{heuristic_pareto, SearchOptions};
+use crate::search::{run_search, SearchAlgo, SearchOptions};
 use autoax_accel::Accelerator;
 use autoax_circuit::charlib::ComponentLibrary;
 use autoax_image::GrayImage;
@@ -35,20 +35,14 @@ pub struct PipelineOptions {
     pub train_configs: usize,
     /// Held-out configurations for the fidelity report (paper: 1500/1000).
     pub test_configs: usize,
-    /// Algorithm 1 estimate budget (paper: 10^5 Sobel, 10^6 GF).
-    pub search_evals: usize,
-    /// Stagnation restart threshold (paper: 50).
-    pub stagnation_limit: usize,
-    /// Independent islands of the parallel Algorithm 1 (semantic knob:
-    /// changes the trajectory deterministically).
-    pub search_islands: usize,
-    /// Estimation batch granularity of the search (throughput knob: never
-    /// changes results).
-    pub search_batch: usize,
-    /// Worker threads for the search; `0` = execution-layer default
-    /// (`AUTOAX_THREADS` / available parallelism). Throughput knob: never
-    /// changes results.
-    pub search_threads: usize,
+    /// The complete Step-3 search configuration: strategy
+    /// ([`SearchOptions::strategy`]), estimate budget
+    /// ([`SearchOptions::max_evals`]; paper: 10^5 Sobel, 10^6 GF),
+    /// stagnation limit, islands, batch size and worker threads — one
+    /// embedded [`SearchOptions`] instead of field-by-field re-declared
+    /// knobs. [`SearchOptions::seed`] is ignored: the pipeline derives
+    /// the search seed from [`PipelineOptions::seed`].
+    pub search: SearchOptions,
     /// Cap on the number of pseudo-Pareto members that get the full real
     /// evaluation (the paper evaluates ~1000 in 3 h).
     pub final_eval_cap: usize,
@@ -71,11 +65,10 @@ impl PipelineOptions {
             engine: EngineKind::RandomForest,
             train_configs: 1500,
             test_configs: 1500,
-            search_evals: 100_000,
-            stagnation_limit: 50,
-            search_islands: SearchOptions::default().islands,
-            search_batch: SearchOptions::default().batch_size,
-            search_threads: 0,
+            search: SearchOptions {
+                max_evals: 100_000,
+                ..SearchOptions::default()
+            },
             final_eval_cap: 1000,
             seed: 42,
             cache_dir: None,
@@ -88,7 +81,10 @@ impl PipelineOptions {
         PipelineOptions {
             train_configs: 4000,
             test_configs: 1000,
-            search_evals: 1_000_000,
+            search: SearchOptions {
+                max_evals: 1_000_000,
+                ..SearchOptions::default()
+            },
             ..Self::paper_sobel()
         }
     }
@@ -100,11 +96,11 @@ impl PipelineOptions {
             engine: EngineKind::RandomForest,
             train_configs: 50,
             test_configs: 30,
-            search_evals: 3000,
-            stagnation_limit: 50,
-            search_islands: 4,
-            search_batch: SearchOptions::default().batch_size,
-            search_threads: 0,
+            search: SearchOptions {
+                max_evals: 3000,
+                islands: 4,
+                ..SearchOptions::default()
+            },
             final_eval_cap: 40,
             seed: 42,
             cache_dir: None,
@@ -116,6 +112,12 @@ impl PipelineOptions {
     pub fn with_cache(mut self, dir: impl Into<PathBuf>, mode: CacheMode) -> Self {
         self.cache_dir = Some(dir.into());
         self.cache_mode = mode;
+        self
+    }
+
+    /// Selects the Step-3 search strategy (builder style).
+    pub fn with_strategy(mut self, strategy: SearchAlgo) -> Self {
+        self.search.strategy = strategy;
         self
     }
 }
@@ -147,10 +149,14 @@ pub struct PipelineTimings {
     /// Cache lookups that missed (no entry, corrupt, stale version or
     /// undecodable) and fell back to recompute.
     pub cache_misses: u32,
-    /// Algorithm 1 search.
+    /// Step-3 model-based search.
     pub search: Duration,
+    /// Name of the [`SearchAlgo`] that produced the pseudo front.
+    pub search_strategy: &'static str,
     /// Search estimate throughput: model evaluations per second of wall
-    /// clock (`search_evals / search`).
+    /// clock (`search.max_evals / search`). Zero for strategies that do
+    /// not spend the eval budget (`uniform`, `exhaustive` — see
+    /// [`SearchAlgo::budgeted`]).
     pub search_evals_per_sec: f64,
     /// Real evaluation of the pseudo-Pareto set.
     pub final_eval: Duration,
@@ -251,6 +257,22 @@ pub fn run_pipeline(
         (None, false) => (0, 0),
     };
 
+    // An exhaustive Step 3 over an unenumerable (reduced) space is
+    // doomed; fail right after pre-processing, before the expensive
+    // training evaluations, not after them.
+    let exhaustive_guard = |size: f64| {
+        if opts.search.strategy == SearchAlgo::Exhaustive
+            && size > crate::config::MAX_ENUMERABLE_CONFIGS
+        {
+            Err(AutoAxError::Invalid(format!(
+                "exhaustive search is infeasible for this space ({size:.2e} configurations); \
+                 pick a budgeted strategy"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+
     let (pre, fidelity, models, t_profile, t_pre, t_train_data, t_fit);
     // The Step-2 evaluator (golden outputs + compiled-op cache) is reused
     // for the final real evaluation of Step 3b when it exists.
@@ -273,6 +295,8 @@ pub fn run_pipeline(
             t_profile = t0.elapsed();
             pre = preprocess_with_pmfs(accel, lib, pmfs, &opts.preprocess);
             t_pre = t0.elapsed();
+            // Fail fast before the expensive training evaluations.
+            exhaustive_guard(pre.space.size())?;
 
             // Step 2: model construction.
             let t1 = Instant::now();
@@ -303,24 +327,26 @@ pub fn run_pipeline(
         }
     }
 
-    // Step 3a: model-based Pareto construction (batched island
-    // Algorithm 1 over the fitted models).
+    // Step 3a: model-based Pareto construction — the selected
+    // SearchStrategy over the batched columnar model estimator. (The
+    // guard re-runs here for the warm-start path, where Steps 1–2 were
+    // loaded in milliseconds.)
+    exhaustive_guard(pre.space.size())?;
     let t3 = Instant::now();
     let estimator = ModelEstimator::new(&models, &pre.space, lib);
-    let pseudo_front = heuristic_pareto(
-        &pre.space,
-        &estimator,
-        &SearchOptions {
-            max_evals: opts.search_evals,
-            stagnation_limit: opts.stagnation_limit,
-            seed: opts.seed.wrapping_add(2),
-            islands: opts.search_islands,
-            batch_size: opts.search_batch,
-            threads: opts.search_threads,
-        },
-    );
+    let search_opts = SearchOptions {
+        seed: opts.seed.wrapping_add(2),
+        ..opts.search
+    };
+    let pseudo_front = run_search(&pre.space, &estimator, &search_opts);
     let t_search = t3.elapsed();
-    let search_evals_per_sec = opts.search_evals as f64 / t_search.as_secs_f64().max(1e-12);
+    // Budget-derived throughput is only meaningful for strategies that
+    // actually spend the budget; uniform/exhaustive report 0.
+    let search_evals_per_sec = if opts.search.strategy.budgeted() {
+        opts.search.max_evals as f64 / t_search.as_secs_f64().max(1e-12)
+    } else {
+        0.0
+    };
 
     // Step 3b: real evaluation of the pseudo-Pareto set (capped), final
     // Pareto filtering on real SSIM, area and energy. A warm run builds
@@ -387,6 +413,7 @@ pub fn run_pipeline(
             cache_hits,
             cache_misses,
             search: t_search,
+            search_strategy: opts.search.strategy.name(),
             search_evals_per_sec,
             final_eval: t_final,
         },

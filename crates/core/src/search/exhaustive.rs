@@ -2,58 +2,118 @@
 //! space — used for the "Optimal Pareto" row of Table 4, where the paper
 //! enumerates all 4.92·10^7 reduced Sobel configurations.
 
-use super::Estimator;
-use crate::config::{ConfigSpace, Configuration};
-use crate::pareto::ParetoFront;
+use super::hill::SearchOptions;
+use super::{ConfigBatch, Estimator, SearchStrategy};
+use crate::config::{ConfigSpace, Configuration, MAX_ENUMERABLE_CONFIGS};
+use crate::pareto::{ParetoFront, TradeoffPoint};
+
+/// Full enumeration as a [`SearchStrategy`]: every configuration of the
+/// space, in lexicographic order, estimated in columnar slices (the
+/// odometer advances in place — no per-candidate allocation) and
+/// Pareto-filtered. [`SearchOptions::max_evals`] is ignored — the budget
+/// is the space itself.
+pub struct ExhaustiveEnumeration;
+
+impl SearchStrategy for ExhaustiveEnumeration {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn search(
+        &self,
+        space: &ConfigSpace,
+        estimator: &dyn Estimator,
+        opts: &SearchOptions,
+    ) -> ParetoFront<Configuration> {
+        assert!(
+            space.size() <= MAX_ENUMERABLE_CONFIGS,
+            "space too large for exhaustive enumeration ({:.2e})",
+            space.size()
+        );
+        let sizes = space.sizes();
+        let stride = space.slot_count();
+        let chunk = opts.batch_size.max(1);
+        let mut front = ParetoFront::new();
+        let mut batch = ConfigBatch::with_capacity(stride, chunk);
+        let mut estimates: Vec<TradeoffPoint> = Vec::with_capacity(chunk);
+        let mut odometer = vec![0u16; stride];
+        let mut done = false;
+        while !done {
+            batch.clear();
+            while batch.len() < chunk && !done {
+                batch.push_genes(&odometer);
+                // advance the odometer (least-significant slot first, as
+                // ConfigSpace::iter_all does)
+                let mut i = 0;
+                loop {
+                    if i == stride {
+                        done = true;
+                        break;
+                    }
+                    odometer[i] += 1;
+                    if (odometer[i] as usize) < sizes[i] {
+                        break;
+                    }
+                    odometer[i] = 0;
+                    i += 1;
+                }
+            }
+            estimates.clear();
+            estimator.estimate_slice(batch.as_slice(), &mut estimates);
+            debug_assert_eq!(estimates.len(), batch.len());
+            for (i, &est) in estimates.iter().enumerate() {
+                front.try_insert_with(est, || batch.to_configuration(i));
+            }
+        }
+        front
+    }
+}
 
 /// Enumerates the whole space and returns its exact Pareto front under the
-/// estimator.
+/// estimator — the historical free-function entry point for
+/// [`ExhaustiveEnumeration`].
 ///
 /// # Panics
-/// Panics if the space exceeds 10^8 configurations (see
+/// Panics if the space exceeds [`MAX_ENUMERABLE_CONFIGS`] (see
 /// [`ConfigSpace::iter_all`]).
 pub fn exhaustive_front(
     space: &ConfigSpace,
     estimator: &impl Estimator,
 ) -> ParetoFront<Configuration> {
-    let mut front = ParetoFront::new();
-    for c in space.iter_all() {
-        let est = estimator.estimate(&c);
-        front.try_insert(est, c);
-    }
-    front
+    ExhaustiveEnumeration.search(space, estimator, &SearchOptions::default())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{SlotChoices, SlotMember};
     use crate::pareto::TradeoffPoint;
+    use crate::search::testutil::toy_space;
     use crate::search::{heuristic_pareto, SearchOptions};
-    use autoax_circuit::charlib::CircuitId;
-    use autoax_circuit::OpSignature;
-
-    fn toy_space(slots: usize, per_slot: usize) -> ConfigSpace {
-        ConfigSpace::new(
-            (0..slots)
-                .map(|i| SlotChoices {
-                    name: format!("s{i}"),
-                    signature: OpSignature::ADD8,
-                    members: (0..per_slot)
-                        .map(|k| SlotMember {
-                            id: CircuitId(k as u32),
-                            wmed: k as f64,
-                        })
-                        .collect(),
-                })
-                .collect(),
-        )
-    }
 
     fn estimator(c: &Configuration) -> TradeoffPoint {
-        let t: f64 = c.0.iter().map(|&v| v as f64 * v as f64).sum();
-        let u: f64 = c.0.iter().map(|&v| 9.0 - v as f64).sum();
+        let t: f64 = c.genes().iter().map(|&v| v as f64 * v as f64).sum();
+        let u: f64 = c.genes().iter().map(|&v| 9.0 - v as f64).sum();
         TradeoffPoint::new(-t, u)
+    }
+
+    #[test]
+    fn enumeration_matches_iterator_order_and_coverage() {
+        // The columnar odometer must visit exactly the configurations of
+        // ConfigSpace::iter_all, and the resulting front must equal the
+        // one built by inserting them one by one.
+        let space = toy_space(3, 3);
+        let mut reference = ParetoFront::new();
+        for c in space.iter_all() {
+            let est = estimator(&c);
+            reference.try_insert(est, c);
+        }
+        let front = exhaustive_front(&space, &estimator);
+        let snap = |f: &ParetoFront<Configuration>| {
+            f.iter()
+                .map(|(p, c)| (p.qor.to_bits(), p.cost.to_bits(), c.genes().to_vec()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(snap(&reference), snap(&front));
     }
 
     #[test]
@@ -84,12 +144,12 @@ mod tests {
         // (minimize => prefer large sums): a genuine trade-off where every
         // distinct sum 0..=4 is non-dominated.
         let est = |c: &Configuration| {
-            let t: f64 = c.0.iter().map(|&v| v as f64).sum();
+            let t: f64 = c.genes().iter().map(|&v| v as f64).sum();
             TradeoffPoint::new(-t, 10.0 - t)
         };
         let front = exhaustive_front(&space, &est);
         let mut costs: Vec<f64> = front.points().iter().map(|p| p.cost).collect();
-        costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        costs.sort_by(f64::total_cmp);
         costs.dedup();
         assert_eq!(costs, vec![6.0, 7.0, 8.0, 9.0, 10.0]);
     }

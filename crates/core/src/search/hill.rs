@@ -18,15 +18,21 @@
 //! # Parallel island search
 //!
 //! The paper runs 10⁵ (Sobel) to 10⁶ (GF) estimates per search, which
-//! makes estimation throughput the Step-3 bottleneck. [`heuristic_pareto`]
+//! makes estimation throughput the Step-3 bottleneck. [`HillClimb`]
 //! therefore runs a **multi-start island** variant: `islands` independent
 //! copies of Algorithm 1, each with its own RNG stream derived from the
 //! master seed, executed on scoped worker threads. Each island proposes
 //! candidates in fixed-size *rounds* — every candidate of a round is a
 //! neighbour of the island's current parent, generated before any of the
 //! round's estimates are consumed — so the round can be estimated with one
-//! batched [`Estimator::estimate_batch`] call and then replayed through
+//! batched [`Estimator::estimate_slice`] call and then replayed through
 //! the sequential `ParetoInsert` logic above.
+//!
+//! The round lives in a columnar [`ConfigBatch`]: candidates are written
+//! in place with [`ConfigSpace::neighbor_into`], estimated straight off
+//! the slab, and only an *accepted* candidate (a successful
+//! `ParetoInsert`) materializes a [`Configuration`] — the eval loop
+//! performs **zero per-candidate heap allocations**.
 //!
 //! At fixed synchronization epochs the island fronts are merged into the
 //! global front **in island order**, and the merged front is shared back,
@@ -47,9 +53,9 @@
 //! [`heuristic_pareto_scalar`] — the baseline the `search_throughput`
 //! bench compares against.
 
-use super::Estimator;
+use super::{ConfigBatch, Estimator, SearchAlgo, SearchStrategy};
 use crate::config::{ConfigSpace, Configuration};
-use crate::pareto::ParetoFront;
+use crate::pareto::{ParetoFront, TradeoffPoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -63,19 +69,27 @@ const ROUND: usize = 32;
 /// merged front is shared back for the next epoch's restarts.
 const SYNC_EPOCHS: usize = 4;
 
-/// Search budget and behaviour knobs.
+/// Search budget and behaviour knobs shared by every
+/// [`super::SearchStrategy`].
 #[derive(Debug, Clone, Copy)]
 pub struct SearchOptions {
+    /// Which strategy [`super::run_search`] dispatches to.
+    pub strategy: SearchAlgo,
     /// Number of candidate evaluations (model estimates).
     pub max_evals: usize,
-    /// Parent-unchanged iterations before a restart (paper: 50).
+    /// Parent-unchanged iterations before a restart (paper: 50; hill
+    /// only).
     pub stagnation_limit: usize,
     /// RNG seed.
     pub seed: u64,
     /// Independent search islands (semantic knob: changes the trajectory,
-    /// deterministically). The eval budget is split evenly across islands.
+    /// deterministically; hill only). The eval budget is split evenly
+    /// across islands.
     pub islands: usize,
-    /// Maximum configurations per [`Estimator::estimate_batch`] call.
+    /// Error levels of the manual uniform-selection baseline
+    /// ([`super::UniformSelection`] only).
+    pub uniform_levels: usize,
+    /// Maximum genomes per [`Estimator::estimate_slice`] call.
     /// Pure throughput knob — any value produces identical results.
     pub batch_size: usize,
     /// Worker threads for the island search; `0` = the execution layer's
@@ -87,10 +101,12 @@ pub struct SearchOptions {
 impl Default for SearchOptions {
     fn default() -> Self {
         SearchOptions {
+            strategy: SearchAlgo::Hill,
             max_evals: 100_000,
             stagnation_limit: 50,
             seed: 0,
             islands: 8,
+            uniform_levels: 25,
             batch_size: ROUND,
             threads: 0,
         }
@@ -100,13 +116,18 @@ impl Default for SearchOptions {
 /// Per-island search state carried across rounds and epochs.
 struct Island {
     rng: StdRng,
-    parent: Configuration,
+    /// Current parent genome (flat, no `Configuration` on the hot path).
+    parent: Vec<u16>,
     stagnation: usize,
     front: ParetoFront<Configuration>,
     /// Remaining eval budget over the whole search.
     budget: usize,
     /// Evals to spend in the current epoch.
     epoch_budget: usize,
+    /// Reused columnar arena for one round of candidates.
+    round: ConfigBatch,
+    /// Reused estimate buffer, aligned with `round`.
+    estimates: Vec<TradeoffPoint>,
 }
 
 /// SplitMix64-style per-island seed derivation: decorrelates the island
@@ -121,7 +142,8 @@ fn island_seed(master: u64, island: u64) -> u64 {
 impl Island {
     fn new(space: &ConfigSpace, seed: u64, budget: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let parent = space.random(&mut rng);
+        let mut parent = vec![0u16; space.slot_count()];
+        space.random_into(&mut parent, &mut rng);
         Island {
             rng,
             parent,
@@ -129,42 +151,44 @@ impl Island {
             front: ParetoFront::new(),
             budget,
             epoch_budget: 0,
+            round: ConfigBatch::with_capacity(space.slot_count(), ROUND),
+            estimates: Vec::with_capacity(ROUND),
         }
     }
 
     /// Runs `epoch_budget` evaluations in rounds of [`ROUND`] candidates.
-    fn run_epoch(&mut self, space: &ConfigSpace, estimator: &impl Estimator, opts: &SearchOptions) {
+    fn run_epoch(&mut self, space: &ConfigSpace, estimator: &dyn Estimator, opts: &SearchOptions) {
         let limit = opts.stagnation_limit.max(1);
-        let chunk = opts.batch_size.max(1);
         let mut remaining = self.epoch_budget;
         while remaining > 0 {
             let r = ROUND.min(remaining);
             // Propose the whole round up front (all neighbours of the
-            // current parent): the trajectory is fixed before estimation,
-            // which is what makes the batch granularity inert.
-            let candidates: Vec<Configuration> = (0..r)
-                .map(|_| space.neighbor(&self.parent, &mut self.rng))
-                .collect();
-            let mut estimates = Vec::with_capacity(r);
-            for batch in candidates.chunks(chunk) {
-                estimates.extend(estimator.estimate_batch(batch));
+            // current parent), written straight into the columnar arena:
+            // the trajectory is fixed before estimation, which is what
+            // makes the batch granularity inert.
+            self.round.clear();
+            for _ in 0..r {
+                space.neighbor_into(&self.parent, self.round.push_row(), &mut self.rng);
             }
-            debug_assert_eq!(estimates.len(), r, "estimator returned wrong batch size");
-            // Replay the round through the sequential Algorithm-1 logic.
-            for (c, est) in candidates.into_iter().zip(estimates) {
-                if self.front.try_insert(est, c.clone()) {
-                    self.parent = c;
+            self.estimates.clear();
+            super::estimate_chunked(estimator, &self.round, opts.batch_size, &mut self.estimates);
+            // Replay the round through the sequential Algorithm-1 logic;
+            // only accepted candidates materialize a Configuration.
+            for i in 0..r {
+                let est = self.estimates[i];
+                let genes = self.round.row(i);
+                if self
+                    .front
+                    .try_insert_with(est, || Configuration::from_genes(genes.to_vec()))
+                {
+                    self.parent.copy_from_slice(genes);
                     self.stagnation = 0;
                 } else {
                     self.stagnation += 1;
                     if self.stagnation >= limit && !self.front.is_empty() {
                         let pick = self.rng.gen_range(0..self.front.len());
-                        self.parent = self
-                            .front
-                            .iter()
-                            .nth(pick)
-                            .map(|(_, cc)| cc.clone())
-                            .expect("front member");
+                        let (_, cc) = self.front.iter().nth(pick).expect("front member");
+                        self.parent.copy_from_slice(cc.genes());
                         self.stagnation = 0;
                     }
                 }
@@ -174,74 +198,96 @@ impl Island {
     }
 }
 
-/// Runs the batched, multi-core island variant of Algorithm 1 and returns
-/// the merged pseudo-Pareto set.
+/// The batched, multi-core island variant of Algorithm 1 — the paper's
+/// search, ported onto the [`super::SearchStrategy`] engine.
 ///
 /// The result is byte-identical for a given `(seed, max_evals,
 /// stagnation_limit, islands)` regardless of [`SearchOptions::threads`]
 /// and [`SearchOptions::batch_size`]; see the module docs for the
-/// guarantees.
+/// guarantees. A golden parity test pins the output bit-for-bit to the
+/// pre-engine `heuristic_pareto` implementation.
+pub struct HillClimb;
+
+impl SearchStrategy for HillClimb {
+    fn name(&self) -> &'static str {
+        "hill"
+    }
+
+    fn search(
+        &self,
+        space: &ConfigSpace,
+        estimator: &dyn Estimator,
+        opts: &SearchOptions,
+    ) -> ParetoFront<Configuration> {
+        let islands = opts.islands.max(1);
+        let threads = if opts.threads == 0 {
+            autoax_exec::thread_count()
+        } else {
+            opts.threads
+        };
+        // Split the eval budget across islands: the first
+        // `max_evals % islands` islands take one extra eval.
+        let base = opts.max_evals / islands;
+        let extra = opts.max_evals % islands;
+        let mut states: Vec<Island> = (0..islands)
+            .map(|i| {
+                let budget = base + usize::from(i < extra);
+                Island::new(space, island_seed(opts.seed, i as u64), budget)
+            })
+            .collect();
+        let mut global: ParetoFront<Configuration> = ParetoFront::new();
+        // Every trade-off point ever offered to `global`, by bit pattern.
+        // Once `try_insert` has seen a point it will reject that point
+        // forever (a rejecting member can only be evicted by a
+        // transitively dominating one), so the merge can skip re-offers —
+        // in particular the shared front cloned back to every island — in
+        // O(1) instead of replaying an O(|front|) scan per member per
+        // epoch.
+        let mut seen: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+        for epoch in 0..SYNC_EPOCHS {
+            for st in &mut states {
+                // Spend 1/SYNC_EPOCHS of the island budget per epoch; the
+                // last epoch takes the remainder.
+                st.epoch_budget = if epoch + 1 == SYNC_EPOCHS {
+                    st.budget
+                } else {
+                    st.budget / (SYNC_EPOCHS - epoch)
+                };
+                st.budget -= st.epoch_budget;
+            }
+            states = autoax_exec::par_map_owned_with(threads.min(islands), states, |mut st| {
+                st.run_epoch(space, estimator, opts);
+                st
+            });
+            // Deterministic merge: island order, then each island's
+            // insertion order. `try_insert` rejects duplicates and evicts
+            // dominated members, so the global front stays minimal.
+            for st in &states {
+                for (p, c) in st.front.iter() {
+                    if seen.insert((p.qor.to_bits(), p.cost.to_bits())) {
+                        global.try_insert(*p, c.clone());
+                    }
+                }
+            }
+            // Share the merged knowledge back so later-epoch stagnation
+            // restarts can jump to any island's discoveries.
+            for st in &mut states {
+                st.front = global.clone();
+            }
+        }
+        global
+    }
+}
+
+/// Runs the island [`HillClimb`] strategy — kept as the historical free-
+/// function entry point; new code selects strategies through
+/// [`super::run_search`] / [`SearchAlgo`].
 pub fn heuristic_pareto(
     space: &ConfigSpace,
     estimator: &impl Estimator,
     opts: &SearchOptions,
 ) -> ParetoFront<Configuration> {
-    let islands = opts.islands.max(1);
-    let threads = if opts.threads == 0 {
-        autoax_exec::thread_count()
-    } else {
-        opts.threads
-    };
-    // Split the eval budget across islands: the first `max_evals % islands`
-    // islands take one extra eval.
-    let base = opts.max_evals / islands;
-    let extra = opts.max_evals % islands;
-    let mut states: Vec<Island> = (0..islands)
-        .map(|i| {
-            let budget = base + usize::from(i < extra);
-            Island::new(space, island_seed(opts.seed, i as u64), budget)
-        })
-        .collect();
-    let mut global: ParetoFront<Configuration> = ParetoFront::new();
-    // Every trade-off point ever offered to `global`, by bit pattern.
-    // Once `try_insert` has seen a point it will reject that point forever
-    // (a rejecting member can only be evicted by a transitively dominating
-    // one), so the merge can skip re-offers — in particular the shared
-    // front cloned back to every island — in O(1) instead of replaying an
-    // O(|front|) scan per member per epoch.
-    let mut seen: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
-    for epoch in 0..SYNC_EPOCHS {
-        for st in &mut states {
-            // Spend 1/SYNC_EPOCHS of the island budget per epoch; the
-            // last epoch takes the remainder.
-            st.epoch_budget = if epoch + 1 == SYNC_EPOCHS {
-                st.budget
-            } else {
-                st.budget / (SYNC_EPOCHS - epoch)
-            };
-            st.budget -= st.epoch_budget;
-        }
-        states = autoax_exec::par_map_owned_with(threads.min(islands), states, |mut st| {
-            st.run_epoch(space, estimator, opts);
-            st
-        });
-        // Deterministic merge: island order, then each island's insertion
-        // order. `try_insert` rejects duplicates and evicts dominated
-        // members, so the global front stays minimal.
-        for st in &states {
-            for (p, c) in st.front.iter() {
-                if seen.insert((p.qor.to_bits(), p.cost.to_bits())) {
-                    global.try_insert(*p, c.clone());
-                }
-            }
-        }
-        // Share the merged knowledge back so later-epoch stagnation
-        // restarts can jump to any island's discoveries.
-        for st in &mut states {
-            st.front = global.clone();
-        }
-    }
-    global
+    HillClimb.search(space, estimator, opts)
 }
 
 /// The original single-threaded, one-estimate-per-iteration Algorithm 1 —
@@ -281,34 +327,12 @@ pub fn heuristic_pareto_scalar(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{SlotChoices, SlotMember};
     use crate::pareto::TradeoffPoint;
-    use autoax_circuit::charlib::CircuitId;
-    use autoax_circuit::OpSignature;
-
-    /// A synthetic space where member index k of every slot has
-    /// wmed = k and "area" = size - k: the true Pareto front is the whole
-    /// diagonal of sum-trade-offs.
-    fn toy_space(slots: usize, per_slot: usize) -> ConfigSpace {
-        ConfigSpace::new(
-            (0..slots)
-                .map(|i| SlotChoices {
-                    name: format!("s{i}"),
-                    signature: OpSignature::ADD8,
-                    members: (0..per_slot)
-                        .map(|k| SlotMember {
-                            id: CircuitId(k as u32),
-                            wmed: k as f64,
-                        })
-                        .collect(),
-                })
-                .collect(),
-        )
-    }
+    use crate::search::testutil::{snapshot, toy_space};
 
     fn toy_estimator(c: &Configuration) -> TradeoffPoint {
         // qor decreases with total wmed, cost decreases with wmed
-        let total: f64 = c.0.iter().map(|&v| v as f64).sum();
+        let total: f64 = c.genes().iter().map(|&v| v as f64).sum();
         TradeoffPoint::new(-total, 100.0 - total)
     }
 
@@ -340,15 +364,6 @@ mod tests {
         let p1: Vec<_> = f1.points().iter().map(|p| (p.qor, p.cost)).collect();
         let p2: Vec<_> = f2.points().iter().map(|p| (p.qor, p.cost)).collect();
         assert_eq!(p1, p2);
-    }
-
-    /// Full result of a front, payloads included, for byte-identity
-    /// comparisons.
-    fn snapshot(front: &ParetoFront<Configuration>) -> Vec<(u64, u64, Vec<u16>)> {
-        front
-            .iter()
-            .map(|(p, c)| (p.qor.to_bits(), p.cost.to_bits(), c.0.clone()))
-            .collect()
     }
 
     #[test]
@@ -441,9 +456,9 @@ mod tests {
         let space = toy_space(3, 4);
         let estimator = |c: &Configuration| {
             // rugged landscape: xor-style interactions
-            let a = c.0[0] as f64;
-            let b = c.0[1] as f64;
-            let d = c.0[2] as f64;
+            let a = c.genes()[0] as f64;
+            let b = c.genes()[1] as f64;
+            let d = c.genes()[2] as f64;
             TradeoffPoint::new((a - b).abs() + d, a + b + 2.0 * d)
         };
         let front = heuristic_pareto(

@@ -1,24 +1,51 @@
-//! Step 3 of the methodology: model-based design space exploration.
+//! Step 3 of the methodology: model-based design space exploration,
+//! unified behind the pluggable [`SearchStrategy`] engine.
+//!
+//! Every algorithm implements one trait over one candidate representation
+//! (the columnar [`ConfigBatch`] plane of [`batch`]) and is driven by one
+//! option set ([`SearchOptions`]), so pipelines, benches and examples
+//! select a strategy by name ([`SearchAlgo`]) instead of hard-wiring a
+//! free function:
 //!
 //! * [`hill`] — the paper's Algorithm 1 (stochastic hill climbing with
-//!   `ParetoInsert` and stagnation restarts);
+//!   `ParetoInsert` and stagnation restarts), as the parallel island
+//!   search;
+//! * [`nsga2`] — NSGA-II with crowding distance, the classic
+//!   multi-objective evolutionary baseline the paper's algorithm is
+//!   usually compared against;
 //! * [`random`] — the random-sampling baseline of Table 4 / Fig. 5;
 //! * [`uniform`] — the manual "uniform selection" baseline of Fig. 5;
 //! * [`exhaustive`] — full enumeration, used for the optimal fronts of
 //!   Table 4 and for tests.
+//!
+//! Strategies are compared quantitatively with the hypervolume indicator
+//! ([`crate::pareto::hypervolume2`] / [`crate::pareto::joint_hypervolumes`]).
+//!
+//! # Adding a strategy
+//!
+//! Implement [`SearchStrategy`] (generate candidates into a
+//! [`ConfigBatch`], estimate them through
+//! [`Estimator::estimate_slice`], keep the non-dominated set in a
+//! [`ParetoFront`]), add a variant to [`SearchAlgo`], and every entry
+//! point — `run_pipeline`, the bench binaries, the examples'
+//! `--strategy` flag — can select it.
 
+pub mod batch;
 pub mod exhaustive;
 pub mod hill;
+pub mod nsga2;
 pub mod random;
 pub mod uniform;
 
-pub use exhaustive::exhaustive_front;
-pub use hill::{heuristic_pareto, heuristic_pareto_scalar, SearchOptions};
-pub use random::random_sampling;
-pub use uniform::uniform_selection;
+pub use batch::{ConfigBatch, ConfigSlice};
+pub use exhaustive::{exhaustive_front, ExhaustiveEnumeration};
+pub use hill::{heuristic_pareto, heuristic_pareto_scalar, HillClimb, SearchOptions};
+pub use nsga2::Nsga2;
+pub use random::{random_sampling, RandomSampling};
+pub use uniform::{uniform_selection, UniformSelection};
 
-use crate::config::Configuration;
-use crate::pareto::TradeoffPoint;
+use crate::config::{ConfigSpace, Configuration};
+use crate::pareto::{ParetoFront, TradeoffPoint};
 
 /// An estimation oracle mapping a configuration to `(QoR, cost)` — in the
 /// pipeline this is a pair of fitted models, in tests a closed form.
@@ -41,6 +68,23 @@ pub trait Estimator: Sync {
     fn estimate_batch(&self, configs: &[Configuration]) -> Vec<TradeoffPoint> {
         configs.iter().map(|c| self.estimate(c)).collect()
     }
+
+    /// Estimates a columnar slice of candidate genomes, appending one
+    /// point per row to `out` — the allocation-free hot path every
+    /// [`SearchStrategy`] drives.
+    ///
+    /// The default materializes configurations and delegates to
+    /// [`Estimator::estimate_batch`] (correct for ad-hoc closures, but
+    /// allocating); [`crate::model::ModelEstimator`] overrides it to
+    /// gather features straight from the slab. Results must be bitwise
+    /// equal to per-row estimation.
+    fn estimate_slice(&self, rows: ConfigSlice<'_>, out: &mut Vec<TradeoffPoint>) {
+        let configs: Vec<Configuration> = rows
+            .rows()
+            .map(|r| Configuration::from_genes(r.to_vec()))
+            .collect();
+        out.extend(self.estimate_batch(&configs));
+    }
 }
 
 impl<F> Estimator for F
@@ -49,5 +93,263 @@ where
 {
     fn estimate(&self, c: &Configuration) -> TradeoffPoint {
         self(c)
+    }
+}
+
+/// A Step-3 search algorithm: drives an [`Estimator`] over a
+/// [`ConfigSpace`] within the budget of a [`SearchOptions`] and reports
+/// the non-dominated set it found.
+///
+/// Implementations must be deterministic functions of
+/// `(space, estimator, opts)` — the throughput knobs
+/// ([`SearchOptions::batch_size`], [`SearchOptions::threads`]) never
+/// change the result.
+pub trait SearchStrategy: Sync {
+    /// Stable lowercase name (CLI flags, bench labels, timing reports).
+    fn name(&self) -> &'static str;
+
+    /// Runs the search and returns the pseudo-Pareto set.
+    fn search(
+        &self,
+        space: &ConfigSpace,
+        estimator: &dyn Estimator,
+        opts: &SearchOptions,
+    ) -> ParetoFront<Configuration>;
+}
+
+/// The registry of built-in strategies — the `search_strategy` scenario
+/// axis threaded through `PipelineOptions`, the bench binaries and the
+/// examples' `--strategy` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchAlgo {
+    /// Parallel island variant of the paper's Algorithm 1 (the default).
+    Hill,
+    /// NSGA-II with crowding distance.
+    Nsga2,
+    /// Uniform random sampling.
+    Random,
+    /// Manual uniform WMED-level selection.
+    Uniform,
+    /// Full enumeration (small spaces only).
+    Exhaustive,
+}
+
+impl SearchAlgo {
+    /// Every built-in strategy.
+    pub const ALL: [SearchAlgo; 5] = [
+        SearchAlgo::Hill,
+        SearchAlgo::Nsga2,
+        SearchAlgo::Random,
+        SearchAlgo::Uniform,
+        SearchAlgo::Exhaustive,
+    ];
+
+    /// True for strategies that spend exactly [`SearchOptions::max_evals`]
+    /// model estimates. [`SearchAlgo::Uniform`] (level-grid-sized) and
+    /// [`SearchAlgo::Exhaustive`] (space-sized) ignore the budget, so
+    /// budget-derived metrics like the pipeline's `search_evals_per_sec`
+    /// are only meaningful when this is true.
+    pub fn budgeted(self) -> bool {
+        !matches!(self, SearchAlgo::Uniform | SearchAlgo::Exhaustive)
+    }
+
+    /// The stable lowercase name (matches [`SearchStrategy::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchAlgo::Hill => "hill",
+            SearchAlgo::Nsga2 => "nsga2",
+            SearchAlgo::Random => "random",
+            SearchAlgo::Uniform => "uniform",
+            SearchAlgo::Exhaustive => "exhaustive",
+        }
+    }
+
+    /// Parses a strategy name (the [`SearchAlgo::name`] spelling plus a
+    /// few common aliases). Returns `None` for unknown names.
+    pub fn parse(s: &str) -> Option<SearchAlgo> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "hill" | "hill-climb" | "hillclimb" | "algorithm1" => Some(SearchAlgo::Hill),
+            "nsga2" | "nsga-ii" | "nsga" => Some(SearchAlgo::Nsga2),
+            "random" | "rs" => Some(SearchAlgo::Random),
+            "uniform" => Some(SearchAlgo::Uniform),
+            "exhaustive" | "optimal" => Some(SearchAlgo::Exhaustive),
+            _ => None,
+        }
+    }
+
+    /// Parses `--strategy <name>` / `--strategy=<name>` from argv-style
+    /// args. Unknown names and a missing value warn to stderr and fall
+    /// back to `None` (caller keeps its default).
+    pub fn from_args(args: &[String]) -> Option<SearchAlgo> {
+        for (i, a) in args.iter().enumerate() {
+            let v = if let Some(rest) = a.strip_prefix("--strategy=") {
+                Some(rest.to_string())
+            } else if a == "--strategy" {
+                let next = args.get(i + 1).cloned();
+                if next.is_none() {
+                    eprintln!("--strategy needs a value, keeping default");
+                    return None;
+                }
+                next
+            } else {
+                None
+            };
+            if let Some(v) = v {
+                match SearchAlgo::parse(&v) {
+                    Some(algo) => return Some(algo),
+                    None => {
+                        eprintln!(
+                            "unknown search strategy `{v}` (expected one of {}), keeping default",
+                            SearchAlgo::ALL.map(|a| a.name()).join("|")
+                        );
+                        return None;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The strategy implementation behind the name.
+    pub fn strategy(self) -> &'static dyn SearchStrategy {
+        match self {
+            SearchAlgo::Hill => &HillClimb,
+            SearchAlgo::Nsga2 => &Nsga2,
+            SearchAlgo::Random => &RandomSampling,
+            SearchAlgo::Uniform => &UniformSelection,
+            SearchAlgo::Exhaustive => &ExhaustiveEnumeration,
+        }
+    }
+}
+
+impl std::fmt::Display for SearchAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs the strategy selected by [`SearchOptions::strategy`] — the single
+/// Step-3 entry point the pipeline and the bench binaries share.
+pub fn run_search(
+    space: &ConfigSpace,
+    estimator: &impl Estimator,
+    opts: &SearchOptions,
+) -> ParetoFront<Configuration> {
+    opts.strategy.strategy().search(space, estimator, opts)
+}
+
+/// Estimates every row of `batch` in `chunk`-row slices through
+/// [`Estimator::estimate_slice`], appending to `out` — the one chunked
+/// driver loop every strategy shares. Results are invariant to `chunk`
+/// (a zero chunk is treated as 1); exactly `batch.len()` points are
+/// appended.
+pub fn estimate_chunked(
+    estimator: &dyn Estimator,
+    batch: &ConfigBatch,
+    chunk: usize,
+    out: &mut Vec<TradeoffPoint>,
+) {
+    let n = batch.len();
+    let chunk = chunk.max(1);
+    let before = out.len();
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        estimator.estimate_slice(batch.slice(start..end), out);
+        start = end;
+    }
+    debug_assert_eq!(out.len() - before, n, "estimator returned wrong count");
+}
+
+/// Shared fixtures for the per-strategy test modules.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::config::{SlotChoices, SlotMember};
+    use autoax_circuit::charlib::CircuitId;
+    use autoax_circuit::OpSignature;
+
+    /// A synthetic space where member index k of every slot has wmed = k.
+    pub(crate) fn toy_space(slots: usize, per_slot: usize) -> ConfigSpace {
+        ConfigSpace::new(
+            (0..slots)
+                .map(|i| SlotChoices {
+                    name: format!("s{i}"),
+                    signature: OpSignature::ADD8,
+                    members: (0..per_slot)
+                        .map(|k| SlotMember {
+                            id: CircuitId(k as u32),
+                            wmed: k as f64,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Full result of a front, payload genomes included, for byte-identity
+    /// comparisons.
+    pub(crate) fn snapshot(front: &ParetoFront<Configuration>) -> Vec<(u64, u64, Vec<u16>)> {
+        front
+            .iter()
+            .map(|(p, c)| (p.qor.to_bits(), p.cost.to_bits(), c.genes().to_vec()))
+            .collect()
+    }
+
+    /// An estimator where good trade-offs are *rare*: quality comes from
+    /// all-equal assignments, which random sampling seldom hits.
+    pub(crate) fn needle_estimator(c: &Configuration) -> TradeoffPoint {
+        let g = c.genes();
+        let t: f64 = g.iter().map(|&v| v as f64).sum();
+        let spread = g
+            .iter()
+            .map(|&v| v as f64)
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+                (lo.min(v), hi.max(v))
+            });
+        let penalty = (spread.1 - spread.0) * 3.0;
+        TradeoffPoint::new(-(t + penalty), 100.0 - t + penalty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_names_round_trip_through_parse() {
+        for algo in SearchAlgo::ALL {
+            assert_eq!(SearchAlgo::parse(algo.name()), Some(algo));
+            assert_eq!(algo.strategy().name(), algo.name());
+            assert_eq!(algo.to_string(), algo.name());
+        }
+        assert_eq!(SearchAlgo::parse("NSGA-II"), Some(SearchAlgo::Nsga2));
+        assert_eq!(SearchAlgo::parse("no-such-algo"), None);
+    }
+
+    #[test]
+    fn budgeted_marks_the_fixed_cost_strategies() {
+        for algo in SearchAlgo::ALL {
+            let expect = !matches!(algo, SearchAlgo::Uniform | SearchAlgo::Exhaustive);
+            assert_eq!(algo.budgeted(), expect, "{algo}");
+        }
+    }
+
+    #[test]
+    fn strategy_flag_parsing() {
+        let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(
+            SearchAlgo::from_args(&args(&["prog", "--strategy", "nsga2"])),
+            Some(SearchAlgo::Nsga2)
+        );
+        assert_eq!(
+            SearchAlgo::from_args(&args(&["prog", "--strategy=random"])),
+            Some(SearchAlgo::Random)
+        );
+        assert_eq!(SearchAlgo::from_args(&args(&["prog"])), None);
+        assert_eq!(
+            SearchAlgo::from_args(&args(&["prog", "--strategy", "bogus"])),
+            None
+        );
     }
 }

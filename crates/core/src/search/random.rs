@@ -2,79 +2,74 @@
 //! Fig. 5: sample configurations uniformly, estimate, keep the Pareto set.
 
 use super::hill::SearchOptions;
-use super::Estimator;
+use super::{ConfigBatch, Estimator, SearchStrategy};
 use crate::config::{ConfigSpace, Configuration};
-use crate::pareto::ParetoFront;
+use crate::pareto::{ParetoFront, TradeoffPoint};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Builds a Pareto set from `opts.max_evals` uniformly random samples.
+/// Uniform random sampling as a [`SearchStrategy`].
 ///
-/// Samples are drawn sequentially from one RNG stream but estimated in
-/// batches of [`SearchOptions::batch_size`] through
-/// [`Estimator::estimate_batch`]; because sampling never depends on
-/// estimates, the result is byte-identical for any batch size (and to the
-/// historical one-estimate-per-iteration loop).
+/// Samples are drawn sequentially from one RNG stream into a reused
+/// columnar [`ConfigBatch`] and estimated in slices of
+/// [`SearchOptions::batch_size`] through [`Estimator::estimate_slice`];
+/// because sampling never depends on estimates, the result is
+/// byte-identical for any batch size (and to the historical
+/// one-estimate-per-iteration loop). Only candidates accepted onto the
+/// front materialize a [`Configuration`].
+pub struct RandomSampling;
+
+impl SearchStrategy for RandomSampling {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn search(
+        &self,
+        space: &ConfigSpace,
+        estimator: &dyn Estimator,
+        opts: &SearchOptions,
+    ) -> ParetoFront<Configuration> {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut front = ParetoFront::new();
+        let chunk = opts.batch_size.max(1);
+        let mut batch = ConfigBatch::with_capacity(space.slot_count(), chunk);
+        let mut estimates: Vec<TradeoffPoint> = Vec::with_capacity(chunk);
+        let mut remaining = opts.max_evals;
+        while remaining > 0 {
+            let r = chunk.min(remaining);
+            batch.clear();
+            for _ in 0..r {
+                space.random_into(batch.push_row(), &mut rng);
+            }
+            estimates.clear();
+            estimator.estimate_slice(batch.as_slice(), &mut estimates);
+            debug_assert_eq!(estimates.len(), r, "estimator returned wrong batch size");
+            for (i, &est) in estimates.iter().enumerate() {
+                front.try_insert_with(est, || batch.to_configuration(i));
+            }
+            remaining -= r;
+        }
+        front
+    }
+}
+
+/// Builds a Pareto set from `opts.max_evals` uniformly random samples —
+/// the historical free-function entry point for [`RandomSampling`].
 pub fn random_sampling(
     space: &ConfigSpace,
     estimator: &impl Estimator,
     opts: &SearchOptions,
 ) -> ParetoFront<Configuration> {
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut front = ParetoFront::new();
-    let chunk = opts.batch_size.max(1);
-    let mut remaining = opts.max_evals;
-    while remaining > 0 {
-        let r = chunk.min(remaining);
-        let candidates: Vec<Configuration> = (0..r).map(|_| space.random(&mut rng)).collect();
-        let estimates = estimator.estimate_batch(&candidates);
-        for (c, est) in candidates.into_iter().zip(estimates) {
-            front.try_insert(est, c);
-        }
-        remaining -= r;
-    }
-    front
+    RandomSampling.search(space, estimator, opts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{SlotChoices, SlotMember};
     use crate::pareto::TradeoffPoint;
     use crate::search::heuristic_pareto;
-    use autoax_circuit::charlib::CircuitId;
-    use autoax_circuit::OpSignature;
-
-    fn toy_space(slots: usize, per_slot: usize) -> ConfigSpace {
-        ConfigSpace::new(
-            (0..slots)
-                .map(|i| SlotChoices {
-                    name: format!("s{i}"),
-                    signature: OpSignature::ADD8,
-                    members: (0..per_slot)
-                        .map(|k| SlotMember {
-                            id: CircuitId(k as u32),
-                            wmed: k as f64,
-                        })
-                        .collect(),
-                })
-                .collect(),
-        )
-    }
-
-    /// An estimator where good trade-offs are *rare*: quality comes from
-    /// all-equal assignments, which random sampling seldom hits.
-    fn needle_estimator(c: &Configuration) -> TradeoffPoint {
-        let t: f64 = c.0.iter().map(|&v| v as f64).sum();
-        let spread =
-            c.0.iter()
-                .map(|&v| v as f64)
-                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
-                    (lo.min(v), hi.max(v))
-                });
-        let penalty = (spread.1 - spread.0) * 3.0;
-        TradeoffPoint::new(-(t + penalty), 100.0 - t + penalty)
-    }
+    use crate::search::testutil::{needle_estimator, snapshot, toy_space};
 
     #[test]
     fn finds_some_front() {
@@ -90,6 +85,27 @@ mod tests {
     }
 
     #[test]
+    fn batch_size_never_changes_the_result() {
+        let space = toy_space(4, 5);
+        let run = |batch_size: usize| {
+            snapshot(&random_sampling(
+                &space,
+                &needle_estimator,
+                &SearchOptions {
+                    max_evals: 1000,
+                    seed: 11,
+                    batch_size,
+                    ..SearchOptions::default()
+                },
+            ))
+        };
+        let reference = run(1);
+        for batch in [7, 32, 1000] {
+            assert_eq!(reference, run(batch), "batch={batch} diverged");
+        }
+    }
+
+    #[test]
     fn hill_climbing_approaches_thin_front_better_than_random_sampling() {
         // The Table 4 shape. With two different objective weight vectors
         // the true Pareto front is the *thin* bang-bang set (every slot at
@@ -101,16 +117,18 @@ mod tests {
         let w: Vec<f64> = (0..6).map(|i| 1.0 + i as f64 * 0.35).collect();
         let u: Vec<f64> = (0..6).map(|i| 1.0 + ((i * 3) % 5) as f64 * 0.6).collect();
         let est = move |c: &Configuration| {
-            let qor: f64 =
-                -c.0.iter()
-                    .zip(w.iter())
-                    .map(|(&v, wi)| wi * v as f64)
-                    .sum::<f64>();
-            let cost: f64 =
-                c.0.iter()
-                    .zip(u.iter())
-                    .map(|(&v, ui)| ui * (4.0 - v as f64))
-                    .sum();
+            let qor: f64 = -c
+                .genes()
+                .iter()
+                .zip(w.iter())
+                .map(|(&v, wi)| wi * v as f64)
+                .sum::<f64>();
+            let cost: f64 = c
+                .genes()
+                .iter()
+                .zip(u.iter())
+                .map(|(&v, ui)| ui * (4.0 - v as f64))
+                .sum();
             TradeoffPoint::new(qor, cost)
         };
         let space = toy_space(6, 5); // 15625 configs: exhaustible

@@ -8,7 +8,41 @@
 //! candidate whose relative WMED is closest to the level; one
 //! configuration per level.
 
+use super::hill::SearchOptions;
+use super::{ConfigBatch, Estimator, SearchStrategy};
 use crate::config::{ConfigSpace, Configuration};
+use crate::pareto::{ParetoFront, TradeoffPoint};
+
+/// The manual uniform-WMED-level selection as a [`SearchStrategy`]: the
+/// [`uniform_selection`] configurations (one per error level,
+/// [`SearchOptions::uniform_levels`] levels) are estimated in one columnar
+/// sweep and Pareto-filtered. Deterministic and RNG-free; the eval budget
+/// is ignored beyond capping the level count.
+pub struct UniformSelection;
+
+impl SearchStrategy for UniformSelection {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn search(
+        &self,
+        space: &ConfigSpace,
+        estimator: &dyn Estimator,
+        opts: &SearchOptions,
+    ) -> ParetoFront<Configuration> {
+        let levels = opts.uniform_levels.max(2).min(opts.max_evals.max(2));
+        let configs = uniform_selection(space, levels);
+        let batch = ConfigBatch::from_configs(&configs);
+        let mut estimates: Vec<TradeoffPoint> = Vec::with_capacity(batch.len());
+        super::estimate_chunked(estimator, &batch, opts.batch_size, &mut estimates);
+        configs
+            .into_iter()
+            .zip(estimates)
+            .map(|(c, p)| (p, c))
+            .collect()
+    }
+}
 
 /// Generates `levels` configurations with uniformly spaced relative-WMED
 /// targets (deduplicated, so fewer may be returned).
@@ -34,17 +68,14 @@ pub fn uniform_selection(space: &ConfigSpace, levels: usize) -> Vec<Configuratio
     let mut out: Vec<Configuration> = Vec::new();
     for level in 0..levels {
         let target = max_rel * level as f64 / (levels - 1) as f64;
-        let config = Configuration(
+        let config = Configuration::from_genes(
             rel.iter()
                 .map(|slot_rel| {
                     slot_rel
                         .iter()
                         .enumerate()
                         .min_by(|(_, a), (_, b)| {
-                            (*a - target)
-                                .abs()
-                                .partial_cmp(&(*b - target).abs())
-                                .unwrap_or(std::cmp::Ordering::Equal)
+                            (*a - target).abs().total_cmp(&(*b - target).abs())
                         })
                         .map(|(i, _)| i as u16)
                         .expect("non-empty slot")
@@ -91,7 +122,7 @@ mod tests {
     fn first_level_is_exact_configuration() {
         let space = space_with_wmeds(vec![vec![0.0, 10.0, 40.0], vec![0.0, 5.0, 80.0]]);
         let configs = uniform_selection(&space, 5);
-        assert_eq!(configs[0], Configuration(vec![0, 0]));
+        assert_eq!(configs[0], Configuration::from_genes(vec![0, 0]));
     }
 
     #[test]
@@ -99,7 +130,7 @@ mod tests {
         let space = space_with_wmeds(vec![vec![0.0, 10.0, 40.0], vec![0.0, 5.0, 40.0]]);
         let configs = uniform_selection(&space, 5);
         let last = configs.last().unwrap();
-        assert_eq!(*last, Configuration(vec![2, 2]));
+        assert_eq!(*last, Configuration::from_genes(vec![2, 2]));
     }
 
     #[test]
@@ -120,7 +151,7 @@ mod tests {
         ]);
         let configs = uniform_selection(&space, 3);
         let mid = &configs[1];
-        assert_eq!(mid.0[0], 1); // 20 of {0,20,40}
-        assert_eq!(mid.0[1], 2); // 20 of {0,10,20,30,40}
+        assert_eq!(mid.genes()[0], 1); // 20 of {0,20,40}
+        assert_eq!(mid.genes()[1], 2); // 20 of {0,10,20,30,40}
     }
 }

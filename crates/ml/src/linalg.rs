@@ -48,6 +48,13 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Consumes the matrix into its flat row-major buffer — lets callers
+    /// that assemble feature matrices in a reused scratch `Vec` take the
+    /// allocation back after prediction.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Number of rows.
     pub fn nrows(&self) -> usize {
         self.rows

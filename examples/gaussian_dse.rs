@@ -4,8 +4,9 @@
 //! sweep of kernels).
 //!
 //! ```sh
-//! cargo run --release --example gaussian_dse            # default scale
-//! cargo run --release --example gaussian_dse -- quick   # smoke scale
+//! cargo run --release --example gaussian_dse                      # default scale
+//! cargo run --release --example gaussian_dse -- quick             # smoke scale
+//! cargo run --release --example gaussian_dse -- --strategy nsga2  # swap the DSE algorithm
 //! ```
 
 use autoax::pipeline::{run_pipeline, PipelineOptions};
@@ -16,17 +17,20 @@ use autoax_circuit::charlib::{build_library, ClassCounts, LibraryConfig};
 use autoax_image::synthetic::benchmark_suite;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = std::env::args().any(|a| a == "quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let strategy = autoax::SearchAlgo::from_args(&args).unwrap_or(autoax::SearchAlgo::Hill);
     let (counts, n_images, sweep, mut opts) = if quick {
         (ClassCounts::tiny(), 2, 2, PipelineOptions::quick())
     } else {
         let mut o = PipelineOptions::paper_gf();
         o.train_configs = 250;
         o.test_configs = 100;
-        o.search_evals = 50_000;
+        o.search.max_evals = 50_000;
         o.final_eval_cap = 60;
         (ClassCounts::default_scale(), 4, 8, o)
     };
+    opts = opts.with_strategy(strategy);
     // keep the generic-GF software simulation affordable
     let (w, h) = if quick { (64, 48) } else { (128, 96) };
 
@@ -63,10 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {:.4}  {:9.1}  {:9.1}", m.ssim, m.area, m.energy);
         }
         println!(
-            "timings: preprocess {:.1?}, training data {:.1?}, search {:.1?}, final eval {:.1?}",
+            "timings: preprocess {:.1?}, training data {:.1?}, search {:.1?} ({}), final eval {:.1?}",
             result.timings.preprocess,
             result.timings.training_data,
             result.timings.search,
+            result.timings.search_strategy,
             result.timings.final_eval
         );
     }

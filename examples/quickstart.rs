@@ -14,8 +14,17 @@
 //! cargo run --release --example quickstart -- --cache-dir .axcache
 //! cargo run --release --example quickstart -- --cache-dir .axcache   # warm
 //! ```
+//!
+//! The Step-3 search strategy is selectable (default: the paper's island
+//! hill climb):
+//!
+//! ```sh
+//! cargo run --release --example quickstart -- --strategy nsga2
+//! cargo run --release --example quickstart -- --strategy random
+//! ```
 
 use autoax::pipeline::{run_pipeline, PipelineOptions};
+use autoax::SearchAlgo;
 use autoax_accel::sobel::SobelEd;
 use autoax_circuit::charlib::LibraryConfig;
 use autoax_image::synthetic::benchmark_suite;
@@ -24,6 +33,7 @@ use autoax_store::{load_or_build_library, parse_cache_flags};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let (cache_dir, cache_mode) = parse_cache_flags(&args);
+    let strategy = SearchAlgo::from_args(&args).unwrap_or(SearchAlgo::Hill);
 
     // 1. Generate and characterize a small approximate-component library
     //    (the stand-in for downloading EvoApprox8b), warm-starting from
@@ -45,10 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Run the three-step methodology with small budgets.
     let accel = SobelEd::new();
-    let mut opts = PipelineOptions::quick();
+    let mut opts = PipelineOptions::quick().with_strategy(strategy);
     opts.cache_dir = cache_dir;
     opts.cache_mode = cache_mode;
     let result = run_pipeline(&accel, &lib, &images, &opts)?;
+    println!("strategy: {}", result.timings.search_strategy);
+    if result.final_front.is_empty() {
+        return Err(format!("strategy {strategy} produced an empty final front").into());
+    }
 
     let t = &result.timings;
     if t.cache_hits > 0 {

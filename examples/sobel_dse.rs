@@ -4,8 +4,9 @@
 //! really-evaluated Pareto front.
 //!
 //! ```sh
-//! cargo run --release --example sobel_dse            # default scale
-//! cargo run --release --example sobel_dse -- quick   # smoke test scale
+//! cargo run --release --example sobel_dse                      # default scale
+//! cargo run --release --example sobel_dse -- quick             # smoke test scale
+//! cargo run --release --example sobel_dse -- --strategy nsga2  # swap the DSE algorithm
 //! ```
 //!
 //! Pass `--cache-dir <path>` to persist the characterized library: the
@@ -13,9 +14,8 @@
 
 use autoax::evaluate::Evaluator;
 use autoax::model::{fidelity_report, fit_models, naive_models, EvaluatedSet};
-use autoax::pareto::TradeoffPoint;
 use autoax::preprocess::{preprocess, PreprocessOptions};
-use autoax::search::{heuristic_pareto, random_sampling, SearchOptions};
+use autoax::search::{random_sampling, run_search, SearchAlgo, SearchOptions};
 use autoax::Configuration;
 use autoax_accel::sobel::SobelEd;
 use autoax_accel::Accelerator;
@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "quick");
     let (cache_dir, cache_mode) = parse_cache_flags(&args);
+    let strategy = SearchAlgo::from_args(&args).unwrap_or(SearchAlgo::Hill);
     let (counts, n_images, train_n, evals) = if quick {
         (ClassCounts::tiny(), 2, 60, 3000)
     } else {
@@ -99,21 +100,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         nrep.hw_test * 100.0
     );
 
-    println!("== step 3: model-based DSE ==");
-    let estimator = |c: &Configuration| {
-        let (q, hw) = models.estimate(&pre.space, &lib, c);
-        TradeoffPoint::new(q, hw)
-    };
+    println!("== step 3: model-based DSE ({strategy} strategy) ==");
+    let estimator = autoax::model::ModelEstimator::new(&models, &pre.space, &lib);
     let opts = SearchOptions {
+        strategy,
         max_evals: evals,
         stagnation_limit: 50,
         seed: 3,
         ..SearchOptions::default()
     };
-    let hill = heuristic_pareto(&pre.space, &estimator, &opts);
+    let hill = run_search(&pre.space, &estimator, &opts);
     let rs = random_sampling(&pre.space, &estimator, &opts);
     println!(
-        "  Algorithm 1: {} pseudo-Pareto members; random sampling: {}",
+        "  {strategy}: {} pseudo-Pareto members; random sampling: {}",
         hill.len(),
         rs.len()
     );

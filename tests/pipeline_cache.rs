@@ -189,7 +189,10 @@ fn different_search_budgets_share_one_step12_entry() {
     let _ = run_pipeline(&accel, &lib, &images, &base).unwrap();
 
     let other_budget = PipelineOptions {
-        search_evals: base.search_evals / 2,
+        search: autoax::SearchOptions {
+            max_evals: base.search.max_evals / 2,
+            ..base.search
+        },
         final_eval_cap: 20,
         ..base.clone()
     };
@@ -199,4 +202,14 @@ fn different_search_budgets_share_one_step12_entry() {
         "a different search budget must reuse the Step-1/2 entry"
     );
     assert!(!warm.final_front.is_empty());
+
+    // A different search *strategy* reuses it too.
+    let other_strategy = base.clone().with_strategy(autoax::SearchAlgo::Nsga2);
+    let warm2 = run_pipeline(&accel, &lib, &images, &other_strategy).unwrap();
+    assert_eq!(
+        warm2.timings.cache_hits, 1,
+        "a different search strategy must reuse the Step-1/2 entry"
+    );
+    assert_eq!(warm2.timings.search_strategy, "nsga2");
+    assert!(!warm2.final_front.is_empty());
 }

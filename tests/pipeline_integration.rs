@@ -104,7 +104,9 @@ fn real_evaluation_orders_aggressiveness() {
     let ev = Evaluator::new(&accel, &lib, &pre.space, &imgs);
     let exact = ev.evaluate(&pre.space.exact());
     assert!((exact.ssim - 1.0).abs() < 1e-9);
-    let worst = autoax::Configuration(pre.space.sizes().iter().map(|&n| (n - 1) as u16).collect());
+    let worst = autoax::Configuration::from_genes(
+        pre.space.sizes().iter().map(|&n| (n - 1) as u16).collect(),
+    );
     let w = ev.evaluate(&worst);
     assert!(w.ssim < exact.ssim);
     assert!(w.hw.area < exact.hw.area);
@@ -188,8 +190,11 @@ fn pipeline_search_is_thread_and_batch_invariant() {
             &lib,
             &imgs,
             &PipelineOptions {
-                search_threads: threads,
-                search_batch: batch,
+                search: autoax::SearchOptions {
+                    threads,
+                    batch_size: batch,
+                    ..PipelineOptions::quick().search
+                },
                 ..PipelineOptions::quick()
             },
         )
