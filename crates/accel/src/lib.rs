@@ -15,6 +15,13 @@
 //! shift-add networks ([`mcm`], standing in for the paper's SPIRAL flow);
 //! the generic filter evaluates 50 σ ∈ [0.3, 0.8] kernels ([`kernels`]).
 //!
+//! The crate also hosts the domain-generic application layer: the
+//! [`Workload`] trait ([`workload`]) that the pipeline is written
+//! against. Every [`Accelerator`] is a `Workload` over grayscale images
+//! with mean-SSIM QoR through a blanket implementation; other domains
+//! (e.g. the quantized-NN workload of `autoax-nn`) implement `Workload`
+//! directly with their own sample type and QoR measure.
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +43,8 @@ pub mod kernels;
 pub mod mcm;
 pub mod profile;
 pub mod sobel;
+pub mod workload;
 
 pub use accelerator::{Accelerator, CompiledOp, OpSet, OpSlot};
-pub use profile::Pmf;
+pub use profile::{Pmf, PmfRecorder};
+pub use workload::Workload;

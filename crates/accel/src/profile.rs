@@ -129,8 +129,26 @@ impl Pmf {
     }
 }
 
-struct PmfRecorder {
+/// An [`OpObserver`] that accumulates one [`Pmf`] per slot — the Step-1
+/// profiling hook, public so non-image workloads (e.g. `autoax-nn`) can
+/// drive their own exact runs through it.
+#[derive(Debug, Clone)]
+pub struct PmfRecorder {
     pmfs: Vec<Pmf>,
+}
+
+impl PmfRecorder {
+    /// New recorder with one empty distribution per slot.
+    pub fn new(slot_count: usize) -> Self {
+        PmfRecorder {
+            pmfs: (0..slot_count).map(|_| Pmf::new()).collect(),
+        }
+    }
+
+    /// The accumulated per-slot distributions.
+    pub fn into_pmfs(self) -> Vec<Pmf> {
+        self.pmfs
+    }
 }
 
 impl OpObserver for PmfRecorder {
@@ -142,10 +160,8 @@ impl OpObserver for PmfRecorder {
 
 /// Profiles an accelerator on one image: runs the exact software model
 /// over every mode and returns one [`Pmf`] per slot.
-fn profile_image(accel: &dyn Accelerator, exact: &OpSet, img: &GrayImage) -> Vec<Pmf> {
-    let mut rec = PmfRecorder {
-        pmfs: (0..accel.slots().len()).map(|_| Pmf::new()).collect(),
-    };
+fn profile_image<A: Accelerator + ?Sized>(accel: &A, exact: &OpSet, img: &GrayImage) -> Vec<Pmf> {
+    let mut rec = PmfRecorder::new(accel.slots().len());
     for mode in 0..accel.mode_count() {
         for y in 0..img.height() as isize {
             for x in 0..img.width() as isize {
@@ -169,7 +185,7 @@ fn profile_image(accel: &dyn Accelerator, exact: &OpSet, img: &GrayImage) -> Vec
 /// Images are profiled in parallel through the execution layer's chunked
 /// map-reduce; the per-image counts merge commutatively, so the result is
 /// identical at any thread count.
-pub fn profile(accel: &dyn Accelerator, images: &[GrayImage]) -> Vec<Pmf> {
+pub fn profile<A: Accelerator + ?Sized>(accel: &A, images: &[GrayImage]) -> Vec<Pmf> {
     let exact = OpSet::exact_slots(accel.slots());
     autoax_exec::map_reduce(
         images,

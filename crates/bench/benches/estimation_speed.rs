@@ -19,7 +19,7 @@ fn bench_estimation_vs_real(c: &mut Criterion) {
     let accel = SobelEd::new();
     let lib = build_library(&LibraryConfig::tiny());
     let images = benchmark_suite(2, 96, 64, 3);
-    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).expect("preprocess");
     let evaluator = Evaluator::new(&accel, &lib, &pre.space, &images);
     let train = EvaluatedSet::generate(&evaluator, &pre.space, 60, 1);
     let models = fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit");

@@ -46,7 +46,7 @@ fn bench_strategies(c: &mut Criterion) {
     let accel = SobelEd::new();
     let lib = build_library(&LibraryConfig::tiny());
     let images = benchmark_suite(2, 96, 64, 3);
-    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).expect("preprocess");
     let evaluator = Evaluator::new(&accel, &lib, &pre.space, &images);
     let train = EvaluatedSet::generate(&evaluator, &pre.space, 60, 1);
     let models = fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit");
@@ -104,7 +104,7 @@ fn bench_plane(c: &mut Criterion) {
     let accel = SobelEd::new();
     let lib = build_library(&LibraryConfig::tiny());
     let images = benchmark_suite(1, 48, 32, 3);
-    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).expect("preprocess");
     let stride = pre.space.slot_count();
     let n = 4096usize;
     let mut group = c.benchmark_group("candidate_plane");

@@ -38,7 +38,7 @@ fn main() {
     println!("building library (scale {}) ...", scale.label());
     let lib = build_library(&scale.library_config());
     let images = sobel_image_suite(scale);
-    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).expect("preprocess");
     let (train_n, test_n) = scale.model_budget();
     let evaluator = Evaluator::new(&accel, &lib, &pre.space, &images);
     let train = EvaluatedSet::generate(&evaluator, &pre.space, train_n, 1);
@@ -106,15 +106,15 @@ fn main() {
     };
     let f_wmed = fit_and_test(
         &qor_wmed(&train),
-        &train.ssim_targets(),
+        &train.qor_targets(),
         &qor_wmed(&test),
-        &test.ssim_targets(),
+        &test.qor_targets(),
     );
     let f_ext = fit_and_test(
         &qor_extended(&train),
-        &train.ssim_targets(),
+        &train.qor_targets(),
         &qor_extended(&test),
-        &test.ssim_targets(),
+        &test.qor_targets(),
     );
     println!("\nAblation 2: QoR-model input features (test fidelity)");
     println!("  WMED only               : {:.1}%", f_wmed * 100.0);
@@ -153,7 +153,8 @@ fn main() {
         &lib,
         uniform_pmfs,
         &PreprocessOptions::default(),
-    );
+    )
+    .expect("workload-blind preprocess");
     // Profiled WMED discounts errors the real operand distribution never
     // triggers, so the profiled reduced libraries reach *cheaper* circuits
     // at each error level than workload-blind MAE filtering. Probe both

@@ -29,8 +29,8 @@ use autoax_ml::EngineKind;
 
 /// Evaluates an even spread of up to `cap` configurations and returns the
 /// real (SSIM, area) Pareto front members with their evaluations.
-fn real_front(
-    evaluator: &Evaluator<'_>,
+fn real_front<W: autoax_accel::Workload + ?Sized>(
+    evaluator: &Evaluator<'_, W>,
     mut configs: Vec<Configuration>,
     cap: usize,
 ) -> Vec<(Configuration, RealEval)> {
@@ -44,7 +44,7 @@ fn real_front(
     let evals = evaluator.evaluate_batch(&configs);
     let mut front: ParetoFront<(Configuration, RealEval)> = ParetoFront::new();
     for (c, r) in configs.into_iter().zip(evals) {
-        front.try_insert(TradeoffPoint::new(r.ssim, r.hw.area), (c, r));
+        front.try_insert(TradeoffPoint::new(r.qor, r.hw.area), (c, r));
     }
     front.into_sorted().into_iter().map(|(_, p)| p).collect()
 }
@@ -55,7 +55,7 @@ fn real_front(
 fn hypervolume(members: &[(Configuration, RealEval)], ref_area: f64) -> f64 {
     let pts: Vec<TradeoffPoint> = members
         .iter()
-        .map(|(_, r)| TradeoffPoint::new(r.ssim, r.hw.area))
+        .map(|(_, r)| TradeoffPoint::new(r.qor, r.hw.area))
         .collect();
     hypervolume2(&pts, TradeoffPoint::new(0.0, ref_area))
 }
@@ -83,7 +83,8 @@ fn main() {
     let mut summary = Vec::new();
     for (accel, images) in runs {
         println!("\n==== {} ====", accel.name());
-        let pre = preprocess(accel.as_ref(), &lib, &images, &PreprocessOptions::default());
+        let pre = preprocess(accel.as_ref(), &lib, &images, &PreprocessOptions::default())
+            .expect("preprocess");
         let evaluator = Evaluator::new(accel.as_ref(), &lib, &pre.space, &images);
         let budget = if accel.name() == "Generic GF" {
             (train_n / 2).max(30)
@@ -139,7 +140,7 @@ fn main() {
                 .iter()
                 .map(|(_, r)| {
                     vec![
-                        format!("{:.5}", r.ssim),
+                        format!("{:.5}", r.qor),
                         format!("{:.2}", r.hw.area),
                         format!("{:.2}", r.hw.energy),
                         format!("{:.2}", r.hw.power),

@@ -25,7 +25,7 @@ fn main() {
     println!("building library (scale {}) ...", scale.label());
     let lib = build_library(&scale.library_config());
     let images = sobel_image_suite(scale);
-    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).expect("preprocess");
     let (train_n, test_n) = scale.model_budget();
     println!(
         "generating {train_n} training + {test_n} testing configurations (real evaluations) ..."

@@ -10,7 +10,12 @@
 //! flags `--cache-dir <path>` and `--cache off|read|rw` (parsed by
 //! [`cache_args`]); see `docs/ARCHITECTURE.md` for the cache design.
 //!
-//! Results are printed and also written as CSV under `bench_out/`.
+//! Results are printed and also written as CSV under `bench_out/`; the
+//! pipeline-driving binaries (table4, table5, nn_table) additionally
+//! maintain their sections of the machine-readable
+//! `bench_out/BENCH_pipeline.json` ([`bench_json`]) so evals/s,
+//! hypervolume, cache hit/miss counts and per-step timings are trackable
+//! across PRs.
 //!
 //! # Example
 //!
@@ -24,6 +29,10 @@
 //! assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
 //! assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
 //! ```
+
+pub mod bench_json;
+
+pub use bench_json::{pipeline_record, upsert_section, write_bench_section, Json};
 
 use autoax::pipeline::PipelineTimings;
 use autoax_circuit::charlib::{ClassCounts, LibraryConfig};

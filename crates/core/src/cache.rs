@@ -1,17 +1,19 @@
 //! Cache-aware warm start for the pipeline's Steps 1–2.
 //!
 //! Library pre-processing (Step 1) and model construction (Step 2) are
-//! deterministic functions of the accelerator, the characterized library,
-//! the benchmark images and the pipeline options — and they dominate
+//! deterministic functions of the workload, the characterized library,
+//! the benchmark samples and the pipeline options — and they dominate
 //! wall-clock on repeat runs now that Step 3 is batched and parallel.
 //! This module content-addresses their combined result (the reduced
 //! configuration space with its PMFs, the fidelity report, and the two
 //! fitted models) through `autoax-store`:
 //!
 //! * [`pipeline_cache_key`] digests every input that affects Steps 1–2 —
-//!   including a *content* fingerprint of the library and the image
-//!   bytes, so a regenerated library or a changed benchmark suite can
-//!   never alias a stale entry — plus the store format-version salt;
+//!   including a *content* fingerprint of the library and the benchmark
+//!   samples (image bytes, NN feature vectors, … via
+//!   [`Workload::digest_samples`]), so a regenerated library or a changed
+//!   benchmark suite can never alias a stale entry — plus the store
+//!   format-version salt;
 //! * [`encode_step12`] / [`decode_step12`] round-trip the artifacts with
 //!   bitwise-exact floats, so a warm [`crate::pipeline::run_pipeline`]
 //!   produces a byte-identical result to the cold run;
@@ -27,9 +29,8 @@
 use crate::model::{FidelityReport, FittedModels};
 use crate::pipeline::PipelineOptions;
 use crate::preprocess::Preprocessed;
-use autoax_accel::{Accelerator, Pmf};
+use autoax_accel::{Pmf, Workload};
 use autoax_circuit::charlib::{CircuitId, ComponentLibrary};
-use autoax_image::GrayImage;
 use autoax_store::cache::{CacheKey, KeyHasher};
 use autoax_store::circuit_codec::{put_signature, take_signature};
 use autoax_store::codec::{Decoder, Encoder};
@@ -56,21 +57,25 @@ pub fn step12_matches_library(pre: &Preprocessed, lib: &ComponentLibrary) -> boo
 }
 
 /// Digest of everything that determines the outcome of Steps 1–2.
-pub fn pipeline_cache_key(
-    accel: &dyn Accelerator,
+pub fn pipeline_cache_key<W: Workload + ?Sized>(
+    work: &W,
     lib: &ComponentLibrary,
-    images: &[GrayImage],
+    samples: &[W::Sample],
     opts: &PipelineOptions,
 ) -> CacheKey {
     let mut h = KeyHasher::new("pipeline-step12");
 
-    // accelerator identity: name, modes, slot list
-    h.write_str(accel.name());
-    h.write_u64(accel.mode_count() as u64);
-    h.write_u64(accel.slots().len() as u64);
-    for slot in accel.slots() {
+    // workload identity: name, slot list, plus whatever extra identity
+    // the domain declares (mode counts, network weights, …)
+    h.write_str(work.name());
+    h.write_u64(work.slots().len() as u64);
+    for slot in work.slots() {
         h.write_str(&slot.name);
         h.write_str(&slot.signature.to_string());
+    }
+    {
+        let mut sink = |bytes: &[u8]| h.write_bytes(bytes);
+        work.digest_identity(&mut sink);
     }
 
     // library *content* fingerprint: per entry, the id (cached spaces
@@ -100,12 +105,12 @@ pub fn pipeline_cache_key(
         }
     }
 
-    // benchmark image content
-    h.write_u64(images.len() as u64);
-    for img in images {
-        h.write_u64(img.width() as u64);
-        h.write_u64(img.height() as u64);
-        h.write_bytes(img.data());
+    // benchmark sample content (domain-typed: image bytes, feature
+    // vectors, … — whatever the workload declares as sample identity)
+    h.write_u64(samples.len() as u64);
+    {
+        let mut sink = |bytes: &[u8]| h.write_bytes(bytes);
+        work.digest_samples(samples, &mut sink);
     }
 
     // the options that flow into Steps 1–2
@@ -257,7 +262,7 @@ mod tests {
         let accel = SobelEd::new();
         let lib = build_library(&LibraryConfig::tiny());
         let images = benchmark_suite(2, 48, 32, 5);
-        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).unwrap();
         let ev = Evaluator::new(&accel, &lib, &pre.space, &images);
         let train = EvaluatedSet::generate(&ev, &pre.space, 40, 1);
         let test = EvaluatedSet::generate(&ev, &pre.space, 20, 2);
@@ -371,7 +376,7 @@ mod tests {
         let accel = SobelEd::new();
         let lib = build_library(&LibraryConfig::tiny());
         let images = benchmark_suite(1, 32, 32, 5);
-        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).unwrap();
         let ev = Evaluator::new(&accel, &lib, &pre.space, &images);
         let train = EvaluatedSet::generate(&ev, &pre.space, 30, 1);
         let models = fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 7).unwrap();

@@ -9,6 +9,15 @@ pub enum AutoAxError {
     Train(TrainError),
     /// The inputs to a pipeline stage were inconsistent.
     Invalid(String),
+    /// Step-1 profiling recorded no operands for a slot: the workload's
+    /// software model never executed it on the benchmark samples, so its
+    /// operand PMF — and therefore every WMED score of its class — would
+    /// be meaningless. Trivially reachable from a misconfigured custom
+    /// workload (a slot declared but never applied in the kernel).
+    EmptyProfile {
+        /// Name of the slot whose operand distribution is empty.
+        slot: String,
+    },
 }
 
 impl std::fmt::Display for AutoAxError {
@@ -16,6 +25,12 @@ impl std::fmt::Display for AutoAxError {
         match self {
             AutoAxError::Train(e) => write!(f, "{e}"),
             AutoAxError::Invalid(m) => write!(f, "invalid pipeline input: {m}"),
+            AutoAxError::EmptyProfile { slot } => write!(
+                f,
+                "step-1 profiling recorded no operands for slot `{slot}`; \
+                 the workload's software model must apply every declared slot \
+                 on the benchmark samples"
+            ),
         }
     }
 }
@@ -24,7 +39,7 @@ impl std::error::Error for AutoAxError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AutoAxError::Train(e) => Some(e),
-            AutoAxError::Invalid(_) => None,
+            AutoAxError::Invalid(_) | AutoAxError::EmptyProfile { .. } => None,
         }
     }
 }
@@ -45,5 +60,10 @@ mod tests {
         assert!(e.to_string().contains("bad"));
         let t: AutoAxError = TrainError::new("x").into();
         assert!(t.to_string().contains("x"));
+        let p = AutoAxError::EmptyProfile {
+            slot: "add1".into(),
+        };
+        assert!(p.to_string().contains("add1"));
+        assert!(p.to_string().contains("no operands"));
     }
 }

@@ -2,56 +2,60 @@
 //! simulation for QoR and synthesis-lite for hardware cost — the "detailed
 //! analysis" that takes ~10 s per configuration in the paper's flow and
 //! that the estimation models exist to avoid.
+//!
+//! The evaluator is generic over the QoR domain: it drives any
+//! [`Workload`] (image accelerators via the blanket impl, the quantized
+//! NN workload, …) against its own sample type and golden results.
 
 use crate::config::{ConfigSpace, Configuration};
-use autoax_accel::{Accelerator, CompiledOp, OpSet};
+use autoax_accel::{CompiledOp, OpSet, Workload};
 use autoax_circuit::charlib::{CircuitId, ComponentLibrary};
 use autoax_circuit::synth::{analyze, optimize, AnalyzeOptions};
 use autoax_circuit::{HwReport, Netlist, OpSignature};
-use autoax_image::GrayImage;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
 /// The outcome of fully analyzing one configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RealEval {
-    /// Mean SSIM versus the exact accelerator on the benchmark images.
-    pub ssim: f64,
+    /// Real QoR versus the exact run on the benchmark samples (mean SSIM
+    /// for the image workloads, top-1 accuracy for the NN workload).
+    pub qor: f64,
     /// Hardware report of the synthesized accelerator netlist.
     pub hw: HwReport,
 }
 
-/// Evaluator with cached golden outputs and compiled-op cache.
-pub struct Evaluator<'a> {
-    accel: &'a dyn Accelerator,
+/// Evaluator with cached golden results and compiled-op cache.
+pub struct Evaluator<'a, W: Workload + ?Sized> {
+    work: &'a W,
     lib: &'a ComponentLibrary,
     space: &'a ConfigSpace,
-    images: &'a [GrayImage],
-    golden: Vec<Vec<GrayImage>>,
+    samples: &'a [W::Sample],
+    golden: Vec<W::Golden>,
     op_cache: Mutex<HashMap<(OpSignature, CircuitId), CompiledOp>>,
 }
 
-impl<'a> Evaluator<'a> {
-    /// Creates an evaluator, precomputing the golden (exact) outputs.
+impl<'a, W: Workload + ?Sized> Evaluator<'a, W> {
+    /// Creates an evaluator, precomputing the golden (exact) results.
     pub fn new(
-        accel: &'a dyn Accelerator,
+        work: &'a W,
         lib: &'a ComponentLibrary,
         space: &'a ConfigSpace,
-        images: &'a [GrayImage],
+        samples: &'a [W::Sample],
     ) -> Self {
         Evaluator {
-            accel,
+            work,
             lib,
             space,
-            images,
-            golden: accel.golden(images),
+            samples,
+            golden: work.golden(samples),
             op_cache: Mutex::new(HashMap::new()),
         }
     }
 
-    /// The accelerator under evaluation.
-    pub fn accelerator(&self) -> &dyn Accelerator {
-        self.accel
+    /// The workload under evaluation.
+    pub fn workload(&self) -> &W {
+        self.work
     }
 
     /// Compiles (with caching) the op set of a configuration.
@@ -79,13 +83,13 @@ impl<'a> Evaluator<'a> {
             .iter()
             .map(|e| e.build_netlist())
             .collect();
-        self.accel.build_netlist(&impls)
+        self.work.build_netlist(&impls)
     }
 
-    /// Full software QoR analysis (mean SSIM against the golden outputs).
+    /// Full software QoR analysis against the golden results.
     pub fn evaluate_qor(&self, c: &Configuration) -> f64 {
         let ops = self.opset(c);
-        self.accel.qor(self.images, &self.golden, &ops)
+        self.work.qor(self.samples, &self.golden, &ops)
     }
 
     /// Full hardware analysis: compose, optimize, report.
@@ -98,7 +102,7 @@ impl<'a> Evaluator<'a> {
     /// Full analysis (both objectives).
     pub fn evaluate(&self, c: &Configuration) -> RealEval {
         RealEval {
-            ssim: self.evaluate_qor(c),
+            qor: self.evaluate_qor(c),
             hw: self.evaluate_hw(c),
         }
     }
@@ -118,6 +122,7 @@ mod tests {
     use autoax_accel::sobel::SobelEd;
     use autoax_circuit::charlib::{build_library, LibraryConfig};
     use autoax_image::synthetic::benchmark_suite;
+    use autoax_image::GrayImage;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -130,7 +135,7 @@ mod tests {
         let accel = SobelEd::new();
         let lib = build_library(&LibraryConfig::tiny());
         let images = benchmark_suite(2, 48, 32, 5);
-        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).unwrap();
         (accel, lib, images, pre)
     }
 
@@ -140,7 +145,7 @@ mod tests {
         let ev = Evaluator::new(&accel, &lib, &pre.space, &images);
         let exact = pre.space.exact();
         let r = ev.evaluate(&exact);
-        assert!((r.ssim - 1.0).abs() < 1e-12, "ssim {}", r.ssim);
+        assert!((r.qor - 1.0).abs() < 1e-12, "ssim {}", r.qor);
         assert!(r.hw.area > 0.0);
     }
 
@@ -155,7 +160,7 @@ mod tests {
         let aggressive =
             Configuration::from_genes(pre.space.sizes().iter().map(|&n| (n - 1) as u16).collect());
         let r_aggr = ev.evaluate(&aggressive);
-        assert!(r_aggr.ssim < r_exact.ssim, "approximation must hurt SSIM");
+        assert!(r_aggr.qor < r_exact.qor, "approximation must hurt SSIM");
         assert!(
             r_aggr.hw.area < r_exact.hw.area,
             "approximation must save area ({} !< {})",
@@ -173,7 +178,7 @@ mod tests {
         let batch = ev.evaluate_batch(&configs);
         for (c, b) in configs.iter().zip(batch.iter()) {
             let single = ev.evaluate(c);
-            assert_eq!(single.ssim, b.ssim);
+            assert_eq!(single.qor, b.qor);
             assert_eq!(single.hw.area, b.hw.area);
         }
     }

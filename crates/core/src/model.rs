@@ -6,8 +6,8 @@
 //! * Hardware model input: the isolated area, power and delay of every
 //!   employed circuit (three features per slot) — the paper found that
 //!   omitting power and delay costs ~2 % fidelity.
-//! * Targets: real SSIM and real post-synthesis area of the composed
-//!   accelerator.
+//! * Targets: real QoR (SSIM, accuracy, … per the workload's domain) and
+//!   real post-synthesis area of the composed accelerator.
 //!
 //! Model quality is measured by *fidelity*, not accuracy, because the DSE
 //! only compares configurations. The paper's naïve baselines are exposed
@@ -55,7 +55,12 @@ impl EvaluatedSet {
     /// space is small relative to `n` (fewer than `2n` configurations) or
     /// after an attempt cap, so a run of unlucky rejections can never spin
     /// the sampling loop forever.
-    pub fn generate(evaluator: &Evaluator<'_>, space: &ConfigSpace, n: usize, seed: u64) -> Self {
+    pub fn generate<W: autoax_accel::Workload + ?Sized>(
+        evaluator: &Evaluator<'_, W>,
+        space: &ConfigSpace,
+        n: usize,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut configs = Vec::with_capacity(n);
         let mut seen = std::collections::HashSet::new();
@@ -73,9 +78,9 @@ impl EvaluatedSet {
         EvaluatedSet { configs, evals }
     }
 
-    /// SSIM targets.
-    pub fn ssim_targets(&self) -> Vec<f64> {
-        self.evals.iter().map(|e| e.ssim).collect()
+    /// QoR targets (real SSIM / accuracy, per the workload's domain).
+    pub fn qor_targets(&self) -> Vec<f64> {
+        self.evals.iter().map(|e| e.qor).collect()
     }
 
     /// Area targets.
@@ -296,7 +301,7 @@ pub fn fit_models(
     seed: u64,
 ) -> Result<FittedModels, AutoAxError> {
     let mut qor = engine.make(seed);
-    qor.fit(&train.qor_matrix(space), &train.ssim_targets())?;
+    qor.fit(&train.qor_matrix(space), &train.qor_targets())?;
     let mut hw = engine.make(seed.wrapping_add(1));
     hw.fit(&train.hw_matrix(space, lib), &train.area_targets())?;
     Ok(FittedModels { qor, hw })
@@ -337,7 +342,7 @@ pub fn fidelity_report(
             })
             .collect();
         let real: Vec<f64> = if which_qor {
-            set.ssim_targets()
+            set.qor_targets()
         } else {
             set.area_targets()
         };
@@ -370,7 +375,7 @@ mod tests {
         let accel = SobelEd::new();
         let lib = build_library(&LibraryConfig::tiny());
         let images = benchmark_suite(2, 48, 32, 5);
-        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).unwrap();
         Setup {
             lib,
             images,
@@ -529,6 +534,6 @@ mod tests {
         let a = EvaluatedSet::generate(&ev, &s.pre.space, 10, 3);
         let b = EvaluatedSet::generate(&ev, &s.pre.space, 10, 3);
         assert_eq!(a.configs, b.configs);
-        assert_eq!(a.ssim_targets(), b.ssim_targets());
+        assert_eq!(a.qor_targets(), b.qor_targets());
     }
 }

@@ -1,6 +1,11 @@
 //! The end-to-end autoAx pipeline (paper Fig. 1): pre-processing → model
 //! construction → model-based DSE → real evaluation of the pseudo-Pareto
-//! set → final Pareto front over real SSIM, area and energy.
+//! set → final Pareto front over real QoR, area and energy.
+//!
+//! The pipeline is generic over the QoR domain: it drives any
+//! [`Workload`] — the paper's image accelerators (mean-SSIM QoR, via the
+//! blanket `Accelerator → Workload` impl) and the quantized-NN workload
+//! of `autoax-nn` (top-1-accuracy QoR) run through identical code.
 
 use crate::cache::{
     decode_step12, encode_step12, pipeline_cache_key, step12_matches_library, STEP12_KIND,
@@ -15,9 +20,8 @@ use crate::model::{
 use crate::pareto::{ParetoFront, ParetoFront3, TradeoffPoint};
 use crate::preprocess::{preprocess_with_pmfs, PreprocessOptions, Preprocessed};
 use crate::search::{run_search, SearchAlgo, SearchOptions};
-use autoax_accel::Accelerator;
+use autoax_accel::Workload;
 use autoax_circuit::charlib::ComponentLibrary;
-use autoax_image::GrayImage;
 use autoax_ml::EngineKind;
 use autoax_store::cache::{CacheMode, Loaded, Store};
 use std::path::PathBuf;
@@ -167,8 +171,9 @@ pub struct PipelineTimings {
 pub struct FinalMember {
     /// The configuration.
     pub config: Configuration,
-    /// Real mean SSIM.
-    pub ssim: f64,
+    /// Real QoR (mean SSIM for the image workloads, top-1 accuracy for
+    /// the NN workload).
+    pub qor: f64,
     /// Real post-synthesis area (µm²).
     pub area: f64,
     /// Real energy per operation (fJ).
@@ -187,13 +192,38 @@ pub struct PipelineResult {
     pub pseudo_front: ParetoFront<Configuration>,
     /// Real evaluations of the (capped) pseudo-Pareto members.
     pub evaluated: Vec<(Configuration, RealEval)>,
-    /// Final Pareto front over real (SSIM, area, energy).
+    /// Final Pareto front over real (QoR, area, energy).
     pub final_front: Vec<FinalMember>,
+    /// Human-readable name of the workload's QoR measure (`"SSIM"`,
+    /// `"top-1 accuracy"`), for report headers.
+    pub qor_metric: &'static str,
     /// Stage timings.
     pub timings: PipelineTimings,
 }
 
 impl PipelineResult {
+    /// FNV-style digest of the final front: the bit patterns of every
+    /// member's QoR, area and energy, in front order.
+    ///
+    /// This is the byte-identity fingerprint the examples print as
+    /// `front-digest:` and the CI cache-smoke jobs and the golden-parity
+    /// test (`tests/workload_parity.rs`) compare — one shared
+    /// implementation so the pinned values can never drift apart from
+    /// what the examples report.
+    pub fn front_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut push = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for m in &self.final_front {
+            push(m.qor.to_bits());
+            push(m.area.to_bits());
+            push(m.energy.to_bits());
+        }
+        h
+    }
+
     /// Table 5 row: `log10` sizes after each reduction step.
     pub fn space_sizes_log10(&self) -> (f64, f64, usize, usize) {
         (
@@ -217,14 +247,14 @@ impl PipelineResult {
 /// # Errors
 /// Returns an error when the models cannot be fitted (degenerate training
 /// data) or the inputs are inconsistent.
-pub fn run_pipeline(
-    accel: &dyn Accelerator,
+pub fn run_pipeline<W: Workload + ?Sized>(
+    work: &W,
     lib: &ComponentLibrary,
-    images: &[GrayImage],
+    samples: &[W::Sample],
     opts: &PipelineOptions,
 ) -> Result<PipelineResult, AutoAxError> {
-    if images.is_empty() {
-        return Err(AutoAxError::Invalid("no benchmark images".into()));
+    if samples.is_empty() {
+        return Err(AutoAxError::Invalid("no benchmark samples".into()));
     }
     // Cache lookup: Steps 1–2 are a pure function of the key's inputs.
     let cache = opts
@@ -234,7 +264,7 @@ pub fn run_pipeline(
         .map(|dir| {
             (
                 Store::new(dir),
-                pipeline_cache_key(accel, lib, images, opts),
+                pipeline_cache_key(work, lib, samples, opts),
             )
         });
     let mut t_cache_load = Duration::ZERO;
@@ -276,7 +306,7 @@ pub fn run_pipeline(
     let (pre, fidelity, models, t_profile, t_pre, t_train_data, t_fit);
     // The Step-2 evaluator (golden outputs + compiled-op cache) is reused
     // for the final real evaluation of Step 3b when it exists.
-    let mut step2_evaluator: Option<Evaluator<'_>> = None;
+    let mut step2_evaluator: Option<Evaluator<'_, W>> = None;
     match warm {
         Some((p, f, m)) => {
             // Warm start: Steps 1–2 skipped entirely.
@@ -291,16 +321,16 @@ pub fn run_pipeline(
         None => {
             // Step 1: library pre-processing (profiling timed separately).
             let t0 = Instant::now();
-            let pmfs = autoax_accel::profile::profile(accel, images);
+            let pmfs = work.profile(samples);
             t_profile = t0.elapsed();
-            pre = preprocess_with_pmfs(accel, lib, pmfs, &opts.preprocess);
+            pre = preprocess_with_pmfs(work, lib, pmfs, &opts.preprocess)?;
             t_pre = t0.elapsed();
             // Fail fast before the expensive training evaluations.
             exhaustive_guard(pre.space.size())?;
 
             // Step 2: model construction.
             let t1 = Instant::now();
-            let evaluator = step2_evaluator.insert(Evaluator::new(accel, lib, &pre.space, images));
+            let evaluator = step2_evaluator.insert(Evaluator::new(work, lib, &pre.space, samples));
             let train =
                 EvaluatedSet::generate(evaluator, &pre.space, opts.train_configs, opts.seed);
             let test = EvaluatedSet::generate(
@@ -354,7 +384,7 @@ pub fn run_pipeline(
     let t4 = Instant::now();
     let evaluator = match step2_evaluator {
         Some(ev) => ev,
-        None => Evaluator::new(accel, lib, &pre.space, images),
+        None => Evaluator::new(work, lib, &pre.space, samples),
     };
     let mut members: Vec<(TradeoffPoint, Configuration)> = pseudo_front.clone().into_sorted();
     if members.len() > opts.final_eval_cap {
@@ -367,7 +397,7 @@ pub fn run_pipeline(
     }
     let mut configs: Vec<Configuration> = members.into_iter().map(|(_, c)| c).collect();
     // The accurate design is always part of the comparison set: the final
-    // front must reach SSIM 1.0 at the exact-configuration cost.
+    // front must reach the maximum QoR at the exact-configuration cost.
     let exact = pre.space.exact();
     if !configs.contains(&exact) {
         configs.push(exact);
@@ -379,17 +409,17 @@ pub fn run_pipeline(
         std::collections::HashSet::new();
     for (c, r) in &evaluated {
         // skip exact duplicates of an already-inserted objective triple
-        let key = (r.ssim.to_bits(), r.hw.area.to_bits(), r.hw.energy.to_bits());
+        let key = (r.qor.to_bits(), r.hw.area.to_bits(), r.hw.energy.to_bits());
         if seen_points.insert(key) {
-            front3.try_insert(r.ssim, r.hw.area, r.hw.energy, c.clone());
+            front3.try_insert(r.qor, r.hw.area, r.hw.energy, c.clone());
         }
     }
     let final_front: Vec<FinalMember> = front3
         .into_sorted()
         .into_iter()
-        .map(|([ssim, area, energy], config)| FinalMember {
+        .map(|([qor, area, energy], config)| FinalMember {
             config,
-            ssim,
+            qor,
             area,
             energy,
         })
@@ -403,6 +433,7 @@ pub fn run_pipeline(
         pseudo_front,
         evaluated,
         final_front,
+        qor_metric: work.qor_metric(),
         timings: PipelineTimings {
             profiling: t_profile,
             preprocess: t_pre,
@@ -443,7 +474,7 @@ mod tests {
         let best_ssim = res
             .final_front
             .iter()
-            .map(|m| m.ssim)
+            .map(|m| m.qor)
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(best_ssim > 0.9, "front should reach high SSIM: {best_ssim}");
         let (full, reduced, pseudo, finaln) = res.space_sizes_log10();

@@ -1,16 +1,17 @@
 //! Step 1 of the methodology: library pre-processing (paper Section 2.2).
 //!
-//! For every operation slot of the accelerator, profile its operand PMF on
+//! For every operation slot of the workload, profile its operand PMF on
 //! benchmark data, score every library circuit of the slot's class with
 //! the WMED, and keep only the circuits on the per-slot WMED/area Pareto
 //! front. The paper reduces the 8-bit adder class from 6979 circuits to
-//! 32–37 per Sobel slot this way.
+//! 32–37 per Sobel slot this way. The step is domain-generic: it runs
+//! against any [`Workload`] (image accelerators, the NN workload, …).
 
 use crate::config::{ConfigSpace, SlotChoices, SlotMember};
+use crate::error::AutoAxError;
 use crate::wmed::wmed_class;
-use autoax_accel::{Accelerator, Pmf};
+use autoax_accel::{Pmf, Workload};
 use autoax_circuit::charlib::{CircuitId, ComponentLibrary};
-use autoax_image::GrayImage;
 
 /// Options for library pre-processing.
 #[derive(Debug, Clone, Copy)]
@@ -45,34 +46,56 @@ pub struct Preprocessed {
     pub full_log10_size: f64,
 }
 
-/// Runs library pre-processing for an accelerator.
-pub fn preprocess(
-    accel: &dyn Accelerator,
+/// Runs library pre-processing for a workload.
+///
+/// # Errors
+/// [`AutoAxError::EmptyProfile`] when a slot's operand distribution comes
+/// back empty (the software model never executed it), and
+/// [`AutoAxError::Invalid`] when the library has no circuits for a slot's
+/// class or the PMF count does not match the slot count.
+pub fn preprocess<W: Workload + ?Sized>(
+    work: &W,
     lib: &ComponentLibrary,
-    images: &[GrayImage],
+    samples: &[W::Sample],
     opts: &PreprocessOptions,
-) -> Preprocessed {
-    let pmfs = autoax_accel::profile::profile(accel, images);
-    preprocess_with_pmfs(accel, lib, pmfs, opts)
+) -> Result<Preprocessed, AutoAxError> {
+    let pmfs = work.profile(samples);
+    preprocess_with_pmfs(work, lib, pmfs, opts)
 }
 
 /// Pre-processing with already-profiled PMFs (lets callers reuse the
 /// profiling pass).
-pub fn preprocess_with_pmfs(
-    accel: &dyn Accelerator,
+///
+/// # Errors
+/// Same contract as [`preprocess`].
+pub fn preprocess_with_pmfs<W: Workload + ?Sized>(
+    work: &W,
     lib: &ComponentLibrary,
     pmfs: Vec<Pmf>,
     opts: &PreprocessOptions,
-) -> Preprocessed {
-    let mut slots = Vec::with_capacity(accel.slots().len());
+) -> Result<Preprocessed, AutoAxError> {
+    if pmfs.len() != work.slots().len() {
+        return Err(AutoAxError::Invalid(format!(
+            "profiling produced {} PMFs for {} slots",
+            pmfs.len(),
+            work.slots().len()
+        )));
+    }
+    let mut slots = Vec::with_capacity(work.slots().len());
     let mut full_log10 = 0.0;
-    for (slot, pmf) in accel.slots().iter().zip(pmfs.iter()) {
+    for (slot, pmf) in work.slots().iter().zip(pmfs.iter()) {
+        if pmf.total() == 0 {
+            return Err(AutoAxError::EmptyProfile {
+                slot: slot.name.clone(),
+            });
+        }
         let class = lib.class(slot.signature);
-        assert!(
-            !class.is_empty(),
-            "library has no circuits for class {}",
-            slot.signature
-        );
+        if class.is_empty() {
+            return Err(AutoAxError::Invalid(format!(
+                "library has no circuits for class {} (slot {})",
+                slot.signature, slot.name
+            )));
+        }
         full_log10 += (class.len() as f64).log10();
         let wmeds = wmed_class(class, pmf, opts.mass_frac);
         let mut members = pareto_filter(class.iter().map(|e| e.hw.area).collect(), &wmeds);
@@ -127,11 +150,11 @@ pub fn preprocess_with_pmfs(
             members: slot_members,
         });
     }
-    Preprocessed {
+    Ok(Preprocessed {
         space: ConfigSpace::new(slots),
         pmfs,
         full_log10_size: full_log10,
-    }
+    })
 }
 
 /// Keeps the indices whose `(wmed, area)` pairs are Pareto-optimal
@@ -173,6 +196,7 @@ mod tests {
     use autoax_accel::sobel::SobelEd;
     use autoax_circuit::charlib::{build_library, LibraryConfig};
     use autoax_image::synthetic::benchmark_suite;
+    use autoax_image::GrayImage;
 
     fn tiny_setup() -> (SobelEd, ComponentLibrary, Vec<GrayImage>) {
         let lib = build_library(&LibraryConfig::tiny());
@@ -196,9 +220,9 @@ mod tests {
     #[test]
     fn reduced_space_is_smaller_and_keeps_exact() {
         let (accel, lib, images) = tiny_setup();
-        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).unwrap();
         assert_eq!(pre.space.slot_count(), 5);
-        for (slot, choices) in accel.slots().iter().zip(pre.space.slots().iter()) {
+        for (slot, choices) in Workload::slots(&accel).iter().zip(pre.space.slots().iter()) {
             let full = lib.class_size(slot.signature);
             assert!(choices.members.len() <= full);
             assert!(!choices.members.is_empty());
@@ -213,7 +237,7 @@ mod tests {
     #[test]
     fn reduced_members_are_pareto_in_wmed_area() {
         let (accel, lib, images) = tiny_setup();
-        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).unwrap();
         for choices in pre.space.slots() {
             let class = lib.class(choices.signature);
             for (i, a) in choices.members.iter().enumerate() {
@@ -243,7 +267,7 @@ mod tests {
             slot_cap: Some(4),
             ..Default::default()
         };
-        let pre = preprocess(&accel, &lib, &images, &opts);
+        let pre = preprocess(&accel, &lib, &images, &opts).unwrap();
         for choices in pre.space.slots() {
             assert!(choices.members.len() <= 4);
             assert_eq!(choices.members[0].wmed, 0.0, "zero-WMED member kept");
@@ -253,12 +277,38 @@ mod tests {
     #[test]
     fn pmfs_are_returned_per_slot() {
         let (accel, lib, images) = tiny_setup();
-        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).unwrap();
         assert_eq!(pre.pmfs.len(), 5);
         for pmf in &pre.pmfs {
             assert!(pmf.total() > 0);
         }
         // image workloads concentrate adder operands near the diagonal
         assert!(pre.pmfs[0].diagonal_mass(32) > 0.5);
+    }
+
+    #[test]
+    fn empty_operand_distribution_is_a_typed_error() {
+        // A misconfigured workload whose software model never executes a
+        // slot yields an empty PMF for it — that must surface as the
+        // EmptyProfile variant naming the slot, not a panic.
+        let (accel, lib, _images) = tiny_setup();
+        let mut pmfs: Vec<Pmf> = (0..5).map(|_| Pmf::new()).collect();
+        for pmf in pmfs.iter_mut().take(2) {
+            pmf.add(10, 20); // slots 0–1 profiled, slot 2 ("add3") empty
+        }
+        let err = preprocess_with_pmfs(&accel, &lib, pmfs, &PreprocessOptions::default())
+            .expect_err("empty slot distribution must not preprocess");
+        match err {
+            AutoAxError::EmptyProfile { slot } => assert_eq!(slot, "add3"),
+            other => panic!("expected EmptyProfile, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pmf_slot_count_mismatch_is_invalid() {
+        let (accel, lib, _images) = tiny_setup();
+        let err = preprocess_with_pmfs(&accel, &lib, Vec::new(), &PreprocessOptions::default())
+            .expect_err("0 PMFs for 5 slots must fail");
+        assert!(matches!(err, AutoAxError::Invalid(_)), "{err:?}");
     }
 }

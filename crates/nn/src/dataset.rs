@@ -1,0 +1,184 @@
+//! Deterministic synthetic classification data for the NN workload.
+//!
+//! No network access, no external files: the generator draws well
+//! separated Gaussian-blob-style clusters directly in the quantized `u8`
+//! feature space from a seeded RNG, so the same [`DatasetConfig`] always
+//! produces the same byte-identical samples — the property the Step-1/2
+//! content-addressed cache and the determinism tests rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One labelled sample: a quantized feature vector and its class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NnSample {
+    /// Quantized input features (u8 activations).
+    pub features: Vec<u8>,
+    /// Ground-truth class index.
+    pub label: u8,
+}
+
+/// Shape and randomness of a synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetConfig {
+    /// Input feature count (the MLP's input width).
+    pub features: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Samples generated per class.
+    pub per_class: usize,
+    /// Half-width of the triangular per-feature noise around each class
+    /// center (larger = harder dataset).
+    pub noise: u8,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// Smoke-test size: 16 features, 4 classes, 96 samples.
+    pub fn tiny() -> Self {
+        DatasetConfig {
+            features: 16,
+            classes: 4,
+            per_class: 24,
+            noise: 12,
+            seed: 2019,
+        }
+    }
+
+    /// Laptop size: 32 features, 6 classes, 360 samples.
+    pub fn default_scale() -> Self {
+        DatasetConfig {
+            features: 32,
+            classes: 6,
+            per_class: 60,
+            noise: 14,
+            seed: 2019,
+        }
+    }
+
+    /// Total sample count.
+    pub fn len(&self) -> usize {
+        self.classes * self.per_class
+    }
+
+    /// True for a zero-sample configuration.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Generates the dataset: one distinct binary-corner center per class
+/// (coordinates in {48, 208}), samples drawn around it with triangular
+/// noise and clamped to the `u8` range, interleaved round-robin over the
+/// classes so every prefix is class-balanced.
+///
+/// # Panics
+/// Panics if the configuration asks for more distinct classes than the
+/// corner space can host.
+pub fn synthetic_blobs(cfg: &DatasetConfig) -> Vec<NnSample> {
+    assert!(cfg.features > 0, "dataset needs at least one feature");
+    assert!(
+        (cfg.classes as u128) <= 1u128 << cfg.features.min(64),
+        "more classes than distinct centers"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut centers: Vec<Vec<u8>> = Vec::with_capacity(cfg.classes);
+    while centers.len() < cfg.classes {
+        let c: Vec<u8> = (0..cfg.features)
+            .map(|_| if rng.gen_bool(0.5) { 208 } else { 48 })
+            .collect();
+        if !centers.contains(&c) {
+            centers.push(c);
+        }
+    }
+    let n = 2 * cfg.noise as i32;
+    let mut out = Vec::with_capacity(cfg.len());
+    for _ in 0..cfg.per_class {
+        for (label, center) in centers.iter().enumerate() {
+            let features = center
+                .iter()
+                .map(|&c| {
+                    // triangular noise in [-2*noise, 2*noise], mean 0
+                    let d = rng.gen_range(0..=n) + rng.gen_range(0..=n) - n;
+                    (c as i32 + d).clamp(0, 255) as u8
+                })
+                .collect();
+            out.push(NnSample {
+                features,
+                label: label as u8,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = DatasetConfig::tiny();
+        let a = synthetic_blobs(&cfg);
+        let b = synthetic_blobs(&cfg);
+        assert_eq!(a, b, "same config must generate identical samples");
+        assert_eq!(a.len(), cfg.len());
+    }
+
+    #[test]
+    fn seed_changes_the_data() {
+        let cfg = DatasetConfig::tiny();
+        let other = DatasetConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        };
+        assert_ne!(synthetic_blobs(&cfg), synthetic_blobs(&other));
+    }
+
+    #[test]
+    fn shapes_and_balance() {
+        let cfg = DatasetConfig::tiny();
+        let data = synthetic_blobs(&cfg);
+        let mut counts = vec![0usize; cfg.classes];
+        for s in &data {
+            assert_eq!(s.features.len(), cfg.features);
+            counts[s.label as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == cfg.per_class));
+        // round-robin interleave: the first `classes` samples cover all
+        // labels
+        let head: Vec<u8> = data[..cfg.classes].iter().map(|s| s.label).collect();
+        let mut sorted = head.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..cfg.classes as u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn classes_stay_separated() {
+        // with noise far below the 160-unit center gap, per-class feature
+        // means must stay near their centers: the nearest class center of
+        // each class mean is its own
+        let cfg = DatasetConfig::tiny();
+        let data = synthetic_blobs(&cfg);
+        let mut means = vec![vec![0f64; cfg.features]; cfg.classes];
+        for s in &data {
+            for (m, &f) in means[s.label as usize].iter_mut().zip(&s.features) {
+                *m += f as f64 / cfg.per_class as f64;
+            }
+        }
+        for (a, ma) in means.iter().enumerate() {
+            for (b, mb) in means.iter().enumerate() {
+                if a != b {
+                    let d: f64 = ma
+                        .iter()
+                        .zip(mb)
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f64>()
+                        .sqrt();
+                    assert!(d > 100.0, "classes {a} and {b} collapsed (dist {d:.1})");
+                }
+            }
+        }
+    }
+}

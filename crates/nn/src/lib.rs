@@ -1,0 +1,48 @@
+//! # autoax-nn
+//!
+//! The second workload domain of the autoAx reproduction: an approximate
+//! **DNN inference accelerator** with accuracy-based QoR, after "Using
+//! Libraries of Approximate Circuits in Design of Hardware Accelerators
+//! of Deep Neural Networks" (Mrazek et al., 2020).
+//!
+//! The crate provides:
+//!
+//! * [`dataset`] — a deterministic synthetic classification dataset
+//!   generator (seeded Gaussian-blob clusters in `u8` feature space, no
+//!   network access);
+//! * [`qmlp`] — a hand-rolled quantized MLP (u8 activations × u8 weights
+//!   with zero point 128) whose multiply-accumulates run through two
+//!   replaceable circuit slots per layer: an 8×8 multiplier and a 16-bit
+//!   accumulator adder ([`qmlp::mac_step`]);
+//! * [`workload`] — the [`autoax_accel::Workload`] implementation
+//!   ([`NnAccelerator`]): QoR is top-1 accuracy against the
+//!   exact-arithmetic golden run, and `build_netlist` composes the
+//!   per-layer MAC processing elements so synthesis-lite hardware cost
+//!   and model-vs-real comparisons work unchanged.
+//!
+//! Because the pipeline is generic over [`autoax_accel::Workload`], the
+//! complete three-step methodology — operand profiling, WMED library
+//! pre-processing, model construction, model-based search, real
+//! evaluation — runs on this workload with the *same* code that serves
+//! the paper's image filters (see the `nn_dse` example).
+//!
+//! # Example
+//!
+//! ```
+//! use autoax_accel::Workload;
+//! use autoax_nn::NnScenario;
+//!
+//! let (accel, samples) = NnScenario::tiny().build();
+//! assert_eq!(accel.slots().len(), 4); // 2 layers × (mul8 + add16)
+//! let golden = accel.golden(&samples);
+//! let q = accel.qor(&samples, &golden, &accel.exact_ops());
+//! assert_eq!(q, 1.0); // the exact configuration is the golden run
+//! ```
+
+pub mod dataset;
+pub mod qmlp;
+pub mod workload;
+
+pub use dataset::{synthetic_blobs, DatasetConfig, NnSample};
+pub use qmlp::{fit_classifier, mac_step, QuantLayer, QuantMlp};
+pub use workload::{NnAccelerator, NnScenario};

@@ -10,13 +10,26 @@
 //! ```sh
 //! cargo run --release --example custom_accelerator
 //! ```
+//!
+//! The same knobs as the other examples apply: `--strategy
+//! hill|nsga2|random|uniform|exhaustive` selects the Step-3 search, and
+//! `--cache-dir <path>` / `--cache off|read|rw` warm-start the library
+//! characterization and the Steps-1/2 artifacts from the persistent
+//! store:
+//!
+//! ```sh
+//! cargo run --release --example custom_accelerator -- --strategy nsga2
+//! cargo run --release --example custom_accelerator -- --cache-dir .axcache
+//! ```
 
 use autoax::pipeline::{run_pipeline, PipelineOptions};
+use autoax::SearchAlgo;
 use autoax_accel::accelerator::{Accelerator, OpObserver, OpSet, OpSlot};
-use autoax_circuit::charlib::{build_library, LibraryConfig};
+use autoax_circuit::charlib::LibraryConfig;
 use autoax_circuit::netlist::{Bus, Netlist};
 use autoax_circuit::OpSignature;
 use autoax_image::synthetic::benchmark_suite;
+use autoax_store::{load_or_build_library, parse_cache_flags};
 
 /// A 2×2 box smoother with approximable adders.
 struct BoxSmoother {
@@ -74,10 +87,40 @@ impl Accelerator for BoxSmoother {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let lib = build_library(&LibraryConfig::tiny());
+    let args: Vec<String> = std::env::args().collect();
+    let (cache_dir, cache_mode) = parse_cache_flags(&args);
+    let strategy = SearchAlgo::from_args(&args).unwrap_or(SearchAlgo::Hill);
+
+    let lib_out = load_or_build_library(&LibraryConfig::tiny(), cache_dir.as_deref(), cache_mode);
+    println!(
+        "library: {} characterized circuits ({})",
+        lib_out.lib.total_size(),
+        if lib_out.cache_hit {
+            format!("loaded from cache in {:.1?}", lib_out.load_time)
+        } else {
+            format!("built in {:.1?}", lib_out.build_time)
+        }
+    );
+    let lib = lib_out.lib;
     let images = benchmark_suite(3, 96, 64, 5);
     let accel = BoxSmoother::new();
-    let result = run_pipeline(&accel, &lib, &images, &PipelineOptions::quick())?;
+    let mut opts = PipelineOptions::quick().with_strategy(strategy);
+    opts.cache_dir = cache_dir;
+    opts.cache_mode = cache_mode;
+    let result = run_pipeline(&accel, &lib, &images, &opts)?;
+    println!("strategy: {}", result.timings.search_strategy);
+    let t = &result.timings;
+    if t.cache_hits > 0 {
+        println!(
+            "cache: warm start - steps 1-2 skipped, loaded in {:.1?} (hits {}, misses {})",
+            t.cache_load, t.cache_hits, t.cache_misses
+        );
+    } else if t.cache_misses > 0 {
+        println!(
+            "cache: cold - steps 1-2 computed in {:.1?} (hits {}, misses {})",
+            t.step12_compute, t.cache_hits, t.cache_misses
+        );
+    }
     println!(
         "{}: {} final Pareto configurations",
         accel.name(),
@@ -85,7 +128,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  SSIM    area(um2)  energy(fJ)");
     for m in &result.final_front {
-        println!("  {:.4}  {:9.1}  {:9.1}", m.ssim, m.area, m.energy);
+        println!("  {:.4}  {:9.1}  {:9.1}", m.qor, m.area, m.energy);
     }
     Ok(())
 }

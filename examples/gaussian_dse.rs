@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!("  SSIM    area(um2)  energy(fJ)");
         for m in result.final_front.iter().take(12) {
-            println!("  {:.4}  {:9.1}  {:9.1}", m.ssim, m.area, m.energy);
+            println!("  {:.4}  {:9.1}  {:9.1}", m.qor, m.area, m.energy);
         }
         println!(
             "timings: preprocess {:.1?}, training data {:.1?}, search {:.1?} ({}), final eval {:.1?}",

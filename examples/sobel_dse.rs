@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let images = benchmark_suite(n_images, 192, 128, 7);
 
     println!("== step 1: library pre-processing ==");
-    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).expect("preprocess");
     for (slot, choices) in accel.slots().iter().zip(pre.space.slots().iter()) {
         println!(
             "  |RL_{}| = {:3}   (diagonal PMF mass: {:.2})",
@@ -128,7 +128,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let evals = evaluator.evaluate_batch(&members);
     println!("  SSIM    area(um2)");
     for r in &evals {
-        println!("  {:.4}  {:9.1}", r.ssim, r.hw.area);
+        println!("  {:.4}  {:9.1}", r.qor, r.hw.area);
     }
     Ok(())
 }

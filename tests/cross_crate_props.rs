@@ -348,3 +348,62 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// MAC datapath of the NN workload (autoax-nn): exact circuits ≡ native
+// integer arithmetic, at the paper's mul8/add16 widths and parametrically.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The low-lane MAC composition — product through the multiplier
+    /// class, accumulate through the 2w-bit adder class, carry beyond the
+    /// lane via exact glue — equals the native `Σ x·w` for *every*
+    /// multiplier width whose adder lane is a paper class (w = 4 → add8
+    /// lanes, w = 8 → the mul8/add16 datapath) and the parametric widths
+    /// in between.
+    #[test]
+    fn exact_mac_equals_native_at_every_width(
+        w in 2u32..=8,
+        stream in proptest::collection::vec((any::<u16>(), any::<u16>()), 1..40)
+    ) {
+        use autoax_circuit::util::mask;
+        use autoax_circuit::OpKind;
+        let mul = CompiledOp::Exact(OpSignature::new(OpKind::Mul, w as u8, w as u8));
+        let add = CompiledOp::Exact(OpSignature::new(OpKind::Add, 2 * w as u8, 2 * w as u8));
+        let op_mask = mask(w);
+        let lane = mask(2 * w);
+        let mut acc = 0u64;
+        let mut native = 0u64;
+        for &(a, b) in &stream {
+            let x = a as u64 & op_mask;
+            let y = b as u64 & op_mask;
+            let p = mul.eval(x, y) & lane;
+            let lo = acc & lane;
+            let s = add.eval(lo, p) & mask(2 * w + 1);
+            acc = (acc & !lane).wrapping_add(s);
+            native += x * y;
+        }
+        prop_assert_eq!(acc, native, "w={}", w);
+    }
+
+    /// `autoax_nn::mac_step` — the slot-observing mul8/add16 MAC the
+    /// quantized MLP runs on — folds to the native dot product under
+    /// exact ops for arbitrary operand streams.
+    #[test]
+    fn nn_mac_step_matches_native_dot_product(
+        stream in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..64)
+    ) {
+        use autoax_accel::accelerator::{NoRecord, OpSet, OpSlot};
+        let slots = [
+            OpSlot::new("mul", OpSignature::MUL8),
+            OpSlot::new("acc", OpSignature::ADD16),
+        ];
+        let ops = OpSet::exact_slots(&slots);
+        let mut acc = 0u64;
+        for &(x, w) in &stream {
+            acc = autoax_nn::mac_step(&ops, 0, 1, acc, x, w, &mut NoRecord);
+        }
+        let native: u64 = stream.iter().map(|&(x, w)| x as u64 * w as u64).sum();
+        prop_assert_eq!(acc, native);
+    }
+}

@@ -83,7 +83,7 @@ fn assert_results_byte_identical(cold: &PipelineResult, warm: &PipelineResult) {
     assert_eq!(cold.evaluated.len(), warm.evaluated.len());
     for ((ca, ra), (cb, rb)) in cold.evaluated.iter().zip(&warm.evaluated) {
         assert_eq!(ca, cb);
-        assert_eq!(ra.ssim.to_bits(), rb.ssim.to_bits());
+        assert_eq!(ra.qor.to_bits(), rb.qor.to_bits());
         assert_eq!(ra.hw.area.to_bits(), rb.hw.area.to_bits());
         assert_eq!(ra.hw.energy.to_bits(), rb.hw.energy.to_bits());
     }
@@ -91,7 +91,7 @@ fn assert_results_byte_identical(cold: &PipelineResult, warm: &PipelineResult) {
     assert_eq!(cold.final_front.len(), warm.final_front.len());
     for (a, b) in cold.final_front.iter().zip(&warm.final_front) {
         assert_eq!(a.config, b.config);
-        assert_eq!(a.ssim.to_bits(), b.ssim.to_bits());
+        assert_eq!(a.qor.to_bits(), b.qor.to_bits());
         assert_eq!(a.area.to_bits(), b.area.to_bits());
         assert_eq!(a.energy.to_bits(), b.energy.to_bits());
     }
@@ -212,4 +212,36 @@ fn different_search_budgets_share_one_step12_entry() {
     );
     assert_eq!(warm2.timings.search_strategy, "nsga2");
     assert!(!warm2.final_front.is_empty());
+}
+
+#[test]
+fn nn_workload_warm_start_is_byte_identical_too() {
+    // the cache layer is domain-generic: the NN workload's Steps 1–2
+    // (operand profiling over the MAC slots, accuracy/area models) must
+    // warm-start byte-identically through the same store
+    let dir = temp_cache_dir("nn-warm");
+    let lib = build_library(&LibraryConfig::tiny());
+    let (accel, samples) = autoax_nn::NnScenario::tiny().build();
+    let opts = PipelineOptions::quick().with_cache(&dir, CacheMode::ReadWrite);
+
+    let cold = run_pipeline(&accel, &lib, &samples, &opts).unwrap();
+    assert_eq!(cold.timings.cache_hits, 0);
+    assert_eq!(cold.timings.cache_misses, 1);
+
+    let warm = run_pipeline(&accel, &lib, &samples, &opts).unwrap();
+    assert_eq!(warm.timings.cache_hits, 1);
+    assert_eq!(warm.timings.cache_misses, 0);
+    assert_eq!(warm.timings.profiling, std::time::Duration::ZERO);
+    assert_results_byte_identical(&cold, &warm);
+
+    // a different network (one weight flipped) must miss: the workload
+    // identity digest covers the weights
+    let mut other_mlp = accel.mlp().clone();
+    other_mlp.layers[0].weights[0] ^= 1;
+    let other = autoax_nn::NnAccelerator::new("Quantized MLP", other_mlp);
+    let res = run_pipeline(&other, &lib, &samples, &opts).unwrap();
+    assert_eq!(res.timings.cache_hits, 0, "weight flip must not alias");
+    assert_eq!(res.timings.cache_misses, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

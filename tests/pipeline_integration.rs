@@ -69,7 +69,7 @@ fn full_pipeline_on_all_three_accelerators() {
         let best = res
             .final_front
             .iter()
-            .map(|m| m.ssim)
+            .map(|m| m.qor)
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(
             (best - 1.0).abs() < 1e-9,
@@ -86,7 +86,7 @@ fn full_pipeline_on_all_three_accelerators() {
         let exact_area = res
             .final_front
             .iter()
-            .find(|m| (m.ssim - 1.0).abs() < 1e-9)
+            .find(|m| (m.qor - 1.0).abs() < 1e-9)
             .map(|m| m.area)
             .unwrap();
         assert!(cheapest < exact_area, "{}", accel.name());
@@ -100,15 +100,15 @@ fn real_evaluation_orders_aggressiveness() {
     let lib = tiny_lib();
     let imgs = images();
     let accel = FixedGaussian::new();
-    let pre = preprocess(&accel, &lib, &imgs, &PreprocessOptions::default());
+    let pre = preprocess(&accel, &lib, &imgs, &PreprocessOptions::default()).expect("preprocess");
     let ev = Evaluator::new(&accel, &lib, &pre.space, &imgs);
     let exact = ev.evaluate(&pre.space.exact());
-    assert!((exact.ssim - 1.0).abs() < 1e-9);
+    assert!((exact.qor - 1.0).abs() < 1e-9);
     let worst = autoax::Configuration::from_genes(
         pre.space.sizes().iter().map(|&n| (n - 1) as u16).collect(),
     );
     let w = ev.evaluate(&worst);
-    assert!(w.ssim < exact.ssim);
+    assert!(w.qor < exact.qor);
     assert!(w.hw.area < exact.hw.area);
     assert!(w.hw.energy < exact.hw.energy);
 }
@@ -118,7 +118,7 @@ fn model_estimates_rank_real_evaluations() {
     let lib = tiny_lib();
     let imgs = images();
     let accel = SobelEd::new();
-    let pre = preprocess(&accel, &lib, &imgs, &PreprocessOptions::default());
+    let pre = preprocess(&accel, &lib, &imgs, &PreprocessOptions::default()).expect("preprocess");
     let ev = Evaluator::new(&accel, &lib, &pre.space, &imgs);
     let train = EvaluatedSet::generate(&ev, &pre.space, 60, 1);
     let test = EvaluatedSet::generate(&ev, &pre.space, 30, 2);
@@ -138,7 +138,7 @@ fn uniform_selection_spans_quality_range() {
     let lib = tiny_lib();
     let imgs = images();
     let accel = SobelEd::new();
-    let pre = preprocess(&accel, &lib, &imgs, &PreprocessOptions::default());
+    let pre = preprocess(&accel, &lib, &imgs, &PreprocessOptions::default()).expect("preprocess");
     let ev = Evaluator::new(&accel, &lib, &pre.space, &imgs);
     let configs = uniform_selection(&pre.space, 6);
     assert!(configs.len() >= 2);
@@ -146,7 +146,7 @@ fn uniform_selection_spans_quality_range() {
     let first = &evals[0];
     let last = evals.last().unwrap();
     // level 0 = all-exact-ish, last level = most approximate
-    assert!(first.ssim > last.ssim);
+    assert!(first.qor > last.qor);
     assert!(first.hw.area > last.hw.area);
 }
 
@@ -162,7 +162,8 @@ fn hardware_netlists_of_configurations_are_simulable() {
         Box::new(GenericGaussian::with_sweep(2)),
     ];
     for accel in accels {
-        let pre = preprocess(accel.as_ref(), &lib, &imgs, &PreprocessOptions::default());
+        let pre = preprocess(accel.as_ref(), &lib, &imgs, &PreprocessOptions::default())
+            .expect("preprocess");
         let ev = Evaluator::new(accel.as_ref(), &lib, &pre.space, &imgs);
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
@@ -220,7 +221,7 @@ fn pipeline_search_is_thread_and_batch_invariant() {
         );
         assert_eq!(reference.final_front.len(), other.final_front.len());
         for (a, b) in reference.final_front.iter().zip(other.final_front.iter()) {
-            assert_eq!(a.ssim, b.ssim);
+            assert_eq!(a.qor, b.qor);
             assert_eq!(a.area, b.area);
             assert_eq!(a.config, b.config);
         }
@@ -236,7 +237,7 @@ fn pipeline_is_deterministic() {
     let r2 = run_pipeline(&accel, &lib, &imgs, &PipelineOptions::quick()).unwrap();
     assert_eq!(r1.final_front.len(), r2.final_front.len());
     for (a, b) in r1.final_front.iter().zip(r2.final_front.iter()) {
-        assert_eq!(a.ssim, b.ssim);
+        assert_eq!(a.qor, b.qor);
         assert_eq!(a.area, b.area);
         assert_eq!(a.config, b.config);
     }

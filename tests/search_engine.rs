@@ -100,7 +100,7 @@ fn quick_models() -> QuickModels {
     let lib =
         autoax_circuit::charlib::build_library(&autoax_circuit::charlib::LibraryConfig::tiny());
     let images = autoax_image::synthetic::benchmark_suite(2, 48, 32, 5);
-    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default());
+    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).expect("preprocess");
     let ev = Evaluator::new(&accel, &lib, &pre.space, &images);
     let train = EvaluatedSet::generate(&ev, &pre.space, 50, 42);
     let models = fit_models(
@@ -220,7 +220,7 @@ fn nsga2_pipeline_is_deterministic_and_thread_invariant() {
         );
         assert_eq!(reference.final_front.len(), other.final_front.len());
         for (a, b) in reference.final_front.iter().zip(other.final_front.iter()) {
-            assert_eq!(a.ssim, b.ssim);
+            assert_eq!(a.qor, b.qor);
             assert_eq!(a.area, b.area);
             assert_eq!(a.config, b.config);
         }
