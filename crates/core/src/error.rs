@@ -18,6 +18,20 @@ pub enum AutoAxError {
         /// Name of the slot whose operand distribution is empty.
         slot: String,
     },
+    /// Random sampling hit its attempt cap before finding the requested
+    /// number of distinct configurations
+    /// ([`crate::model::EvaluatedSet::try_generate`]). Both the
+    /// requested and the achieved count are carried so the caller can
+    /// see how far sampling got instead of guessing.
+    SamplingExhausted {
+        /// Distinct configurations the caller asked for.
+        requested: usize,
+        /// Distinct configurations actually found before the cap.
+        achieved: usize,
+    },
+    /// The job's [`crate::job::CancelToken`] fired: the pipeline stopped
+    /// cooperatively at a stage or search-round boundary.
+    Cancelled,
 }
 
 impl std::fmt::Display for AutoAxError {
@@ -31,6 +45,16 @@ impl std::fmt::Display for AutoAxError {
                  the workload's software model must apply every declared slot \
                  on the benchmark samples"
             ),
+            AutoAxError::SamplingExhausted {
+                requested,
+                achieved,
+            } => write!(
+                f,
+                "random sampling exhausted its attempt cap: {achieved} of the \
+                 {requested} requested distinct configurations found; the \
+                 configuration space is too small for this training budget"
+            ),
+            AutoAxError::Cancelled => write!(f, "the job was cancelled"),
         }
     }
 }
@@ -39,7 +63,10 @@ impl std::error::Error for AutoAxError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AutoAxError::Train(e) => Some(e),
-            AutoAxError::Invalid(_) | AutoAxError::EmptyProfile { .. } => None,
+            AutoAxError::Invalid(_)
+            | AutoAxError::EmptyProfile { .. }
+            | AutoAxError::SamplingExhausted { .. }
+            | AutoAxError::Cancelled => None,
         }
     }
 }
@@ -65,5 +92,25 @@ mod tests {
         };
         assert!(p.to_string().contains("add1"));
         assert!(p.to_string().contains("no operands"));
+    }
+
+    #[test]
+    fn sampling_exhausted_reports_requested_and_achieved() {
+        // The regression this guards: the attempt-cap error used to drop
+        // the requested-vs-achieved counts, leaving no way to tell how
+        // close sampling got.
+        let e = AutoAxError::SamplingExhausted {
+            requested: 1500,
+            achieved: 37,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1500"), "{msg}");
+        assert!(msg.contains("37"), "{msg}");
+        assert!(msg.contains("attempt cap"), "{msg}");
+    }
+
+    #[test]
+    fn cancelled_formats() {
+        assert!(AutoAxError::Cancelled.to_string().contains("cancelled"));
     }
 }

@@ -61,6 +61,36 @@ impl EvaluatedSet {
         n: usize,
         seed: u64,
     ) -> Self {
+        Self::generate_impl(evaluator, space, n, seed, false)
+            .expect("permissive generation is infallible")
+    }
+
+    /// [`EvaluatedSet::generate`], but the attempt cap is an error instead
+    /// of a silent fall-back to duplicates: when the cap fires before `n`
+    /// distinct configurations exist, the returned
+    /// [`AutoAxError::SamplingExhausted`] carries both the requested and
+    /// the achieved count. Genuinely small spaces (fewer than `2n`
+    /// configurations) still accept duplicates without an error — only
+    /// the pathological can't-find-uniques-in-a-big-space case fails.
+    ///
+    /// # Errors
+    /// [`AutoAxError::SamplingExhausted`] as described above.
+    pub fn try_generate<W: autoax_accel::Workload + ?Sized>(
+        evaluator: &Evaluator<'_, W>,
+        space: &ConfigSpace,
+        n: usize,
+        seed: u64,
+    ) -> Result<Self, AutoAxError> {
+        Self::generate_impl(evaluator, space, n, seed, true)
+    }
+
+    fn generate_impl<W: autoax_accel::Workload + ?Sized>(
+        evaluator: &Evaluator<'_, W>,
+        space: &ConfigSpace,
+        n: usize,
+        seed: u64,
+        strict: bool,
+    ) -> Result<Self, AutoAxError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut configs = Vec::with_capacity(n);
         let mut seen = std::collections::HashSet::new();
@@ -70,12 +100,20 @@ impl EvaluatedSet {
         while configs.len() < n {
             let c = space.random(&mut rng);
             attempts += 1;
-            if seen.insert(c.clone()) || small_space || attempts > max_attempts {
+            if seen.insert(c.clone()) || small_space {
+                configs.push(c);
+            } else if attempts > max_attempts {
+                if strict {
+                    return Err(AutoAxError::SamplingExhausted {
+                        requested: n,
+                        achieved: configs.len(),
+                    });
+                }
                 configs.push(c);
             }
         }
         let evals = evaluator.evaluate_batch(&configs);
-        EvaluatedSet { configs, evals }
+        Ok(EvaluatedSet { configs, evals })
     }
 
     /// QoR targets (real SSIM / accuracy, per the workload's domain).
@@ -525,6 +563,39 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), n, "cap must not kick in on an easy space");
+    }
+
+    #[test]
+    fn try_generate_matches_generate_when_feasible() {
+        // On a feasible budget the strict variant must be byte-identical
+        // to the permissive one, and the small-space carve-out (size <
+        // 2n) must keep accepting duplicates without an error. The
+        // infeasible path — cap fires in a large space — is a sampling
+        // pathology that can't be provoked with the uniform sampler, so
+        // the error payload itself is pinned in `error.rs`.
+        let s = setup();
+        let tiny = ConfigSpace::new(
+            s.pre
+                .space
+                .slots()
+                .iter()
+                .map(|sl| crate::config::SlotChoices {
+                    name: sl.name.clone(),
+                    signature: sl.signature,
+                    members: sl.members.iter().take(2).copied().collect(),
+                })
+                .collect(),
+        );
+        let ev = Evaluator::new(&s.accel, &s.lib, &tiny, &s.images);
+        let n = (tiny.size() / 2.0) as usize;
+        let strict = EvaluatedSet::try_generate(&ev, &tiny, n, 11).expect("feasible budget");
+        let permissive = EvaluatedSet::generate(&ev, &tiny, n, 11);
+        assert_eq!(strict.configs, permissive.configs);
+        // Small-space carve-out: asking for more configs than the space
+        // holds accepts duplicates without erroring in both variants.
+        let over = tiny.size() as usize + 3;
+        let strict_over = EvaluatedSet::try_generate(&ev, &tiny, over, 11).expect("small space");
+        assert_eq!(strict_over.configs.len(), over);
     }
 
     #[test]

@@ -14,17 +14,19 @@ use crate::cache::{
 use crate::config::Configuration;
 use crate::error::AutoAxError;
 use crate::evaluate::{Evaluator, RealEval};
+use crate::job::CancelToken;
 use crate::model::{
     fidelity_report, fit_models, EvaluatedSet, FidelityReport, FittedModels, ModelEstimator,
 };
 use crate::pareto::{ParetoFront, ParetoFront3, TradeoffPoint};
 use crate::preprocess::{preprocess_with_pmfs, PreprocessOptions, Preprocessed};
-use crate::search::{run_search, SearchAlgo, SearchOptions};
+use crate::search::{run_search_cancellable, SearchAlgo, SearchOptions};
 use autoax_accel::Workload;
 use autoax_circuit::charlib::ComponentLibrary;
 use autoax_ml::EngineKind;
-use autoax_store::cache::{CacheMode, Loaded, Store};
+use autoax_store::cache::{BlobStore, CacheMode, Loaded, Store};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// All pipeline knobs, preset-constructible for the paper's scenarios.
@@ -55,10 +57,21 @@ pub struct PipelineOptions {
     /// Directory of the content-addressed artifact cache. `None` disables
     /// caching regardless of [`PipelineOptions::cache_mode`].
     pub cache_dir: Option<PathBuf>,
+    /// A shared [`BlobStore`] to cache through instead of a fresh
+    /// [`Store`] over [`PipelineOptions::cache_dir`] — how the service
+    /// tier routes every job through one LRU-fronted
+    /// [`autoax_store::ShardedStore`]. Takes precedence over
+    /// `cache_dir`; [`PipelineOptions::cache_mode`] still gates reads
+    /// and writes.
+    pub cache_store: Option<Arc<dyn BlobStore>>,
     /// How the pipeline interacts with the cache: warm-start Steps 1–2
     /// from disk ([`CacheMode::Read`]/[`CacheMode::ReadWrite`]) and
     /// persist them after a cold run ([`CacheMode::ReadWrite`]).
     pub cache_mode: CacheMode,
+    /// Cooperative cancellation: checked between pipeline stages and at
+    /// search-round boundaries; a fired token makes the run return
+    /// [`AutoAxError::Cancelled`]. The default token never fires.
+    pub cancel: CancelToken,
 }
 
 impl PipelineOptions {
@@ -76,7 +89,9 @@ impl PipelineOptions {
             final_eval_cap: 1000,
             seed: 42,
             cache_dir: None,
+            cache_store: None,
             cache_mode: CacheMode::Off,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -108,7 +123,9 @@ impl PipelineOptions {
             final_eval_cap: 40,
             seed: 42,
             cache_dir: None,
+            cache_store: None,
             cache_mode: CacheMode::Off,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -122,6 +139,14 @@ impl PipelineOptions {
     /// Selects the Step-3 search strategy (builder style).
     pub fn with_strategy(mut self, strategy: SearchAlgo) -> Self {
         self.search.strategy = strategy;
+        self
+    }
+
+    /// Caches through a shared [`BlobStore`] (builder style) — see
+    /// [`PipelineOptions::cache_store`].
+    pub fn with_store(mut self, store: Arc<dyn BlobStore>, mode: CacheMode) -> Self {
+        self.cache_store = Some(store);
+        self.cache_mode = mode;
         self
     }
 }
@@ -256,23 +281,34 @@ pub fn run_pipeline<W: Workload + ?Sized>(
     if samples.is_empty() {
         return Err(AutoAxError::Invalid("no benchmark samples".into()));
     }
+    if opts.cancel.is_cancelled() {
+        return Err(AutoAxError::Cancelled);
+    }
     // Cache lookup: Steps 1–2 are a pure function of the key's inputs.
-    let cache = opts
-        .cache_dir
-        .as_ref()
-        .filter(|_| opts.cache_mode.reads() || opts.cache_mode.writes())
-        .map(|dir| {
-            (
-                Store::new(dir),
-                pipeline_cache_key(work, lib, samples, opts),
-            )
-        });
+    // A shared store (service tier) takes precedence over the per-run
+    // directory store.
+    let cache: Option<(Arc<dyn BlobStore>, _)> =
+        if opts.cache_mode.reads() || opts.cache_mode.writes() {
+            opts.cache_store
+                .clone()
+                .or_else(|| {
+                    opts.cache_dir
+                        .as_ref()
+                        .map(|dir| Arc::new(Store::new(dir)) as Arc<dyn BlobStore>)
+                })
+                .map(|store| {
+                    let key = pipeline_cache_key(work, lib, samples, opts);
+                    (store, key)
+                })
+        } else {
+            None
+        };
     let mut t_cache_load = Duration::ZERO;
     let mut warm: Option<(Preprocessed, FidelityReport, FittedModels)> = None;
     if let Some((store, key)) = &cache {
         if opts.cache_mode.reads() {
             let t = Instant::now();
-            if let Loaded::Hit(payload) = store.load(STEP12_KIND, *key, STEP12_TAG) {
+            if let Loaded::Hit(payload) = store.load_blob(STEP12_KIND, *key, STEP12_TAG) {
                 warm = decode_step12(&payload)
                     .ok()
                     .filter(|(pre, _, _)| step12_matches_library(pre, lib));
@@ -328,17 +364,21 @@ pub fn run_pipeline<W: Workload + ?Sized>(
             // Fail fast before the expensive training evaluations.
             exhaustive_guard(pre.space.size())?;
 
+            if opts.cancel.is_cancelled() {
+                return Err(AutoAxError::Cancelled);
+            }
+
             // Step 2: model construction.
             let t1 = Instant::now();
             let evaluator = step2_evaluator.insert(Evaluator::new(work, lib, &pre.space, samples));
             let train =
-                EvaluatedSet::generate(evaluator, &pre.space, opts.train_configs, opts.seed);
-            let test = EvaluatedSet::generate(
+                EvaluatedSet::try_generate(evaluator, &pre.space, opts.train_configs, opts.seed)?;
+            let test = EvaluatedSet::try_generate(
                 evaluator,
                 &pre.space,
                 opts.test_configs,
                 opts.seed.wrapping_add(1),
-            );
+            )?;
             t_train_data = t1.elapsed();
             let t2 = Instant::now();
             models = fit_models(opts.engine, &pre.space, lib, &train, opts.seed)?;
@@ -350,7 +390,7 @@ pub fn run_pipeline<W: Workload + ?Sized>(
             if let Some((store, key)) = &cache {
                 if opts.cache_mode.writes() {
                     if let Ok(payload) = encode_step12(&pre, &fidelity, &models) {
-                        let _ = store.save(STEP12_KIND, *key, STEP12_TAG, payload);
+                        let _ = store.save_blob(STEP12_KIND, *key, STEP12_TAG, payload);
                     }
                 }
             }
@@ -362,14 +402,22 @@ pub fn run_pipeline<W: Workload + ?Sized>(
     // guard re-runs here for the warm-start path, where Steps 1–2 were
     // loaded in milliseconds.)
     exhaustive_guard(pre.space.size())?;
+    if opts.cancel.is_cancelled() {
+        return Err(AutoAxError::Cancelled);
+    }
     let t3 = Instant::now();
     let estimator = ModelEstimator::new(&models, &pre.space, lib);
     let search_opts = SearchOptions {
         seed: opts.seed.wrapping_add(2),
         ..opts.search
     };
-    let pseudo_front = run_search(&pre.space, &estimator, &search_opts);
+    let pseudo_front = run_search_cancellable(&pre.space, &estimator, &search_opts, &opts.cancel);
     let t_search = t3.elapsed();
+    // A mid-search cancellation leaves a truncated front; refuse to pass
+    // it off as a result.
+    if opts.cancel.is_cancelled() {
+        return Err(AutoAxError::Cancelled);
+    }
     // Budget-derived throughput is only meaningful for strategies that
     // actually spend the budget; uniform/exhaustive report 0.
     let search_evals_per_sec = if opts.search.strategy.budgeted() {
@@ -488,5 +536,38 @@ mod tests {
         let lib = build_library(&LibraryConfig::tiny());
         let err = run_pipeline(&accel, &lib, &[], &PipelineOptions::quick());
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn pre_cancelled_pipeline_returns_cancelled() {
+        let accel = SobelEd::new();
+        let lib = build_library(&LibraryConfig::tiny());
+        let images = benchmark_suite(2, 48, 32, 5);
+        let opts = PipelineOptions::quick();
+        opts.cancel.cancel();
+        match run_pipeline(&accel, &lib, &images, &opts) {
+            Err(AutoAxError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn shared_blob_store_warm_starts_like_a_cache_dir() {
+        let accel = SobelEd::new();
+        let lib = build_library(&LibraryConfig::tiny());
+        let images = benchmark_suite(2, 48, 32, 5);
+        let dir = std::env::temp_dir().join(format!("autoax-pipe-store-{}", std::process::id()));
+        let store: Arc<dyn BlobStore> = Arc::new(autoax_store::ShardedStore::with_defaults(&dir));
+        let opts = PipelineOptions::quick().with_store(Arc::clone(&store), CacheMode::ReadWrite);
+        let cold = run_pipeline(&accel, &lib, &images, &opts).unwrap();
+        assert_eq!(cold.timings.cache_misses, 1);
+        let warm = run_pipeline(&accel, &lib, &images, &opts).unwrap();
+        assert_eq!(warm.timings.cache_hits, 1);
+        assert_eq!(
+            cold.front_digest(),
+            warm.front_digest(),
+            "warm start through a shared store must be byte-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

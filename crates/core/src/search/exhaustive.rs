@@ -5,6 +5,7 @@
 use super::hill::SearchOptions;
 use super::{ConfigBatch, Estimator, SearchStrategy};
 use crate::config::{ConfigSpace, Configuration, MAX_ENUMERABLE_CONFIGS};
+use crate::job::CancelToken;
 use crate::pareto::{ParetoFront, TradeoffPoint};
 
 /// Full enumeration as a [`SearchStrategy`]: every configuration of the
@@ -19,11 +20,12 @@ impl SearchStrategy for ExhaustiveEnumeration {
         "exhaustive"
     }
 
-    fn search(
+    fn search_cancellable(
         &self,
         space: &ConfigSpace,
         estimator: &dyn Estimator,
         opts: &SearchOptions,
+        cancel: &CancelToken,
     ) -> ParetoFront<Configuration> {
         assert!(
             space.size() <= MAX_ENUMERABLE_CONFIGS,
@@ -38,7 +40,7 @@ impl SearchStrategy for ExhaustiveEnumeration {
         let mut estimates: Vec<TradeoffPoint> = Vec::with_capacity(chunk);
         let mut odometer = vec![0u16; stride];
         let mut done = false;
-        while !done {
+        while !done && !cancel.is_cancelled() {
             batch.clear();
             while batch.len() < chunk && !done {
                 batch.push_genes(&odometer);

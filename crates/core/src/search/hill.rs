@@ -55,6 +55,7 @@
 
 use super::{ConfigBatch, Estimator, SearchAlgo, SearchStrategy};
 use crate::config::{ConfigSpace, Configuration};
+use crate::job::CancelToken;
 use crate::pareto::{ParetoFront, TradeoffPoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -156,11 +157,18 @@ impl Island {
         }
     }
 
-    /// Runs `epoch_budget` evaluations in rounds of [`ROUND`] candidates.
-    fn run_epoch(&mut self, space: &ConfigSpace, estimator: &dyn Estimator, opts: &SearchOptions) {
+    /// Runs `epoch_budget` evaluations in rounds of [`ROUND`] candidates,
+    /// polling `cancel` between rounds.
+    fn run_epoch(
+        &mut self,
+        space: &ConfigSpace,
+        estimator: &dyn Estimator,
+        opts: &SearchOptions,
+        cancel: &CancelToken,
+    ) {
         let limit = opts.stagnation_limit.max(1);
         let mut remaining = self.epoch_budget;
-        while remaining > 0 {
+        while remaining > 0 && !cancel.is_cancelled() {
             let r = ROUND.min(remaining);
             // Propose the whole round up front (all neighbours of the
             // current parent), written straight into the columnar arena:
@@ -213,11 +221,12 @@ impl SearchStrategy for HillClimb {
         "hill"
     }
 
-    fn search(
+    fn search_cancellable(
         &self,
         space: &ConfigSpace,
         estimator: &dyn Estimator,
         opts: &SearchOptions,
+        cancel: &CancelToken,
     ) -> ParetoFront<Configuration> {
         let islands = opts.islands.max(1);
         let threads = if opts.threads == 0 {
@@ -245,6 +254,9 @@ impl SearchStrategy for HillClimb {
         // epoch.
         let mut seen: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
         for epoch in 0..SYNC_EPOCHS {
+            if cancel.is_cancelled() {
+                break;
+            }
             for st in &mut states {
                 // Spend 1/SYNC_EPOCHS of the island budget per epoch; the
                 // last epoch takes the remainder.
@@ -256,7 +268,7 @@ impl SearchStrategy for HillClimb {
                 st.budget -= st.epoch_budget;
             }
             states = autoax_exec::par_map_owned_with(threads.min(islands), states, |mut st| {
-                st.run_epoch(space, estimator, opts);
+                st.run_epoch(space, estimator, opts, cancel);
                 st
             });
             // Deterministic merge: island order, then each island's

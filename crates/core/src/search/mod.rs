@@ -45,6 +45,7 @@ pub use random::{random_sampling, RandomSampling};
 pub use uniform::{uniform_selection, UniformSelection};
 
 use crate::config::{ConfigSpace, Configuration};
+use crate::job::CancelToken;
 use crate::pareto::{ParetoFront, TradeoffPoint};
 
 /// An estimation oracle mapping a configuration to `(QoR, cost)` — in the
@@ -114,6 +115,20 @@ pub trait SearchStrategy: Sync {
         space: &ConfigSpace,
         estimator: &dyn Estimator,
         opts: &SearchOptions,
+    ) -> ParetoFront<Configuration> {
+        self.search_cancellable(space, estimator, opts, &CancelToken::new())
+    }
+
+    /// [`SearchStrategy::search`] with cooperative cancellation: the
+    /// strategy polls `cancel` at round/epoch boundaries and returns the
+    /// front accumulated so far once it fires. An un-cancelled token
+    /// must produce exactly the [`SearchStrategy::search`] result.
+    fn search_cancellable(
+        &self,
+        space: &ConfigSpace,
+        estimator: &dyn Estimator,
+        opts: &SearchOptions,
+        cancel: &CancelToken,
     ) -> ParetoFront<Configuration>;
 }
 
@@ -238,6 +253,20 @@ pub fn run_search(
     opts.strategy.strategy().search(space, estimator, opts)
 }
 
+/// [`run_search`] with cooperative cancellation — what the service tier
+/// drives so a shutdown or client disconnect stops a job within one
+/// search round.
+pub fn run_search_cancellable(
+    space: &ConfigSpace,
+    estimator: &impl Estimator,
+    opts: &SearchOptions,
+    cancel: &CancelToken,
+) -> ParetoFront<Configuration> {
+    opts.strategy
+        .strategy()
+        .search_cancellable(space, estimator, opts, cancel)
+}
+
 /// Estimates every row of `batch` in `chunk`-row slices through
 /// [`Estimator::estimate_slice`], appending to `out` — the one chunked
 /// driver loop every strategy shares. Results are invariant to `chunk`
@@ -333,6 +362,52 @@ mod tests {
             let expect = !matches!(algo, SearchAlgo::Uniform | SearchAlgo::Exhaustive);
             assert_eq!(algo.budgeted(), expect, "{algo}");
         }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_every_strategy_early() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let space = testutil::toy_space(3, 4);
+        for algo in SearchAlgo::ALL {
+            let calls = AtomicUsize::new(0);
+            let estimator = |c: &Configuration| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                testutil::needle_estimator(c)
+            };
+            let opts = SearchOptions {
+                strategy: algo,
+                max_evals: 10_000,
+                ..SearchOptions::default()
+            };
+            let cancel = CancelToken::new();
+            cancel.cancel();
+            let _front = run_search_cancellable(&space, &estimator, &opts, &cancel);
+            // A fired token must stop the run long before the budget: no
+            // strategy may spend more than one round of estimates.
+            let spent = calls.load(Ordering::Relaxed);
+            assert!(spent < opts.max_evals / 2, "{algo}: spent {spent} evals");
+        }
+    }
+
+    #[test]
+    fn uncancelled_token_matches_plain_search() {
+        let space = testutil::toy_space(3, 4);
+        let opts = SearchOptions {
+            max_evals: 2_000,
+            ..SearchOptions::default()
+        };
+        let plain = run_search(&space, &testutil::needle_estimator, &opts);
+        let via_token = run_search_cancellable(
+            &space,
+            &testutil::needle_estimator,
+            &opts,
+            &CancelToken::new(),
+        );
+        assert_eq!(
+            testutil::snapshot(&plain),
+            testutil::snapshot(&via_token),
+            "an un-cancelled token must not change results"
+        );
     }
 
     #[test]

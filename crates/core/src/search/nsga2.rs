@@ -33,6 +33,7 @@
 
 use super::{ConfigBatch, Estimator, SearchStrategy};
 use crate::config::{ConfigSpace, Configuration};
+use crate::job::CancelToken;
 use crate::pareto::{ParetoFront, TradeoffPoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -138,11 +139,12 @@ impl SearchStrategy for Nsga2 {
         "nsga2"
     }
 
-    fn search(
+    fn search_cancellable(
         &self,
         space: &ConfigSpace,
         estimator: &dyn Estimator,
         opts: &super::SearchOptions,
+        cancel: &CancelToken,
     ) -> ParetoFront<Configuration> {
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let stride = space.slot_count();
@@ -173,7 +175,7 @@ impl SearchStrategy for Nsga2 {
         };
         let pm = 1.0 / stride as f64;
 
-        while evals < opts.max_evals {
+        while evals < opts.max_evals && !cancel.is_cancelled() {
             let r = pop.min(opts.max_evals - evals);
             // Rank the current parents for tournament selection.
             s.objs.clear();

@@ -4,6 +4,7 @@
 use super::hill::SearchOptions;
 use super::{ConfigBatch, Estimator, SearchStrategy};
 use crate::config::{ConfigSpace, Configuration};
+use crate::job::CancelToken;
 use crate::pareto::{ParetoFront, TradeoffPoint};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,11 +25,12 @@ impl SearchStrategy for RandomSampling {
         "random"
     }
 
-    fn search(
+    fn search_cancellable(
         &self,
         space: &ConfigSpace,
         estimator: &dyn Estimator,
         opts: &SearchOptions,
+        cancel: &CancelToken,
     ) -> ParetoFront<Configuration> {
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let mut front = ParetoFront::new();
@@ -36,7 +38,7 @@ impl SearchStrategy for RandomSampling {
         let mut batch = ConfigBatch::with_capacity(space.slot_count(), chunk);
         let mut estimates: Vec<TradeoffPoint> = Vec::with_capacity(chunk);
         let mut remaining = opts.max_evals;
-        while remaining > 0 {
+        while remaining > 0 && !cancel.is_cancelled() {
             let r = chunk.min(remaining);
             batch.clear();
             for _ in 0..r {

@@ -11,6 +11,7 @@
 use super::hill::SearchOptions;
 use super::{ConfigBatch, Estimator, SearchStrategy};
 use crate::config::{ConfigSpace, Configuration};
+use crate::job::CancelToken;
 use crate::pareto::{ParetoFront, TradeoffPoint};
 
 /// The manual uniform-WMED-level selection as a [`SearchStrategy`]: the
@@ -25,12 +26,16 @@ impl SearchStrategy for UniformSelection {
         "uniform"
     }
 
-    fn search(
+    fn search_cancellable(
         &self,
         space: &ConfigSpace,
         estimator: &dyn Estimator,
         opts: &SearchOptions,
+        cancel: &CancelToken,
     ) -> ParetoFront<Configuration> {
+        if cancel.is_cancelled() {
+            return ParetoFront::new();
+        }
         let levels = opts.uniform_levels.max(2).min(opts.max_evals.max(2));
         let configs = uniform_selection(space, levels);
         let batch = ConfigBatch::from_configs(&configs);

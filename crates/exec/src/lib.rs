@@ -29,6 +29,10 @@
 //! assert_eq!(squares, autoax_exec::par_map_with(1, &inputs, |&x| x * x));
 //! ```
 
+pub mod pool;
+
+pub use pool::{SubmitError, WorkerPool};
+
 /// Environment variable overriding the default worker-thread count.
 pub const THREADS_ENV: &str = "AUTOAX_THREADS";
 

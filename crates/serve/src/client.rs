@@ -1,0 +1,127 @@
+//! A minimal blocking client for the service's one-request-per-connection
+//! protocol — what the demo example, the concurrency tests and the CI
+//! smoke job speak through.
+
+use crate::json::Json;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A parsed response: status line plus the NDJSON body, one [`Json`]
+/// value per line (single-object bodies are a one-element vector).
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body lines that parsed as JSON, in stream order.
+    pub lines: Vec<Json>,
+}
+
+impl Response {
+    /// The `front_digest` from a job stream's `done` trailer, if any.
+    pub fn front_digest(&self) -> Option<&str> {
+        self.event("done")?.get("front_digest")?.as_str()
+    }
+
+    /// How the job was served (`computed` / `deduped` / `cached`), from
+    /// the `accepted` event.
+    pub fn served(&self) -> Option<&str> {
+        self.event("accepted")?.get("served")?.as_str()
+    }
+
+    /// The first line whose `event` field equals `name`.
+    pub fn event(&self, name: &str) -> Option<&Json> {
+        self.lines
+            .iter()
+            .find(|l| l.get("event").and_then(Json::as_str) == Some(name))
+    }
+
+    /// The `error` message of a non-2xx response, if present.
+    pub fn error(&self) -> Option<&str> {
+        self.lines.first()?.get("error")?.as_str()
+    }
+}
+
+/// Sends one request and reads the whole response (the server closes
+/// the connection after it).
+///
+/// # Errors
+/// Connection/IO failures and malformed status lines.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&Json>,
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    send_head_and_body(
+        &mut stream,
+        method,
+        path,
+        headers,
+        body.map(|b| b.to_string().into_bytes()).as_deref(),
+    )?;
+    read_response(stream)
+}
+
+/// Submits a job descriptor; `tenant` rides in the `x-tenant` header.
+///
+/// # Errors
+/// As for [`request`].
+pub fn submit_job(addr: SocketAddr, tenant: &str, job: &Json) -> io::Result<Response> {
+    request(addr, "POST", "/jobs", &[("x-tenant", tenant)], Some(job))
+}
+
+fn send_head_and_body(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&[u8]>,
+) -> io::Result<()> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: autoax\r\nConnection: close\r\n");
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    if let Some(body) = body {
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if let Some(body) = body {
+        stream.write_all(body)?;
+    }
+    stream.flush()
+}
+
+fn read_response(stream: TcpStream) -> io::Result<Response> {
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line: {status_line:?}"),
+            )
+        })?;
+    // Skip headers up to the blank line, then read the body to EOF
+    // (Connection: close delimits it).
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body)?;
+    let lines = body
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| Json::parse(l).ok())
+        .collect();
+    Ok(Response { status, lines })
+}

@@ -1,0 +1,142 @@
+//! Admission control with per-tenant fairness: a global cap on
+//! concurrently *running* jobs plus a smaller per-tenant cap, so one
+//! chatty tenant can saturate neither the worker pool nor the gate —
+//! other tenants always have admission slots only they can use.
+//!
+//! Load is shed, not queued: [`AdmissionGate::try_acquire`] refuses
+//! immediately (the HTTP layer answers `429`) instead of parking the
+//! connection thread. The bounded queue lives one layer down in
+//! [`autoax_exec::WorkerPool`]; the gate bounds what is allowed past it.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Why admission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refused {
+    /// The global running-job cap is reached.
+    ServerSaturated,
+    /// This tenant is already at its per-tenant cap.
+    TenantSaturated,
+}
+
+impl std::fmt::Display for Refused {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Refused::ServerSaturated => write!(f, "server is at its concurrent-job limit"),
+            Refused::TenantSaturated => write!(f, "tenant is at its concurrent-job limit"),
+        }
+    }
+}
+
+#[derive(Default)]
+struct GateState {
+    total: usize,
+    per_tenant: HashMap<String, usize>,
+}
+
+/// The gate. Clone-free shared use via `Arc`.
+pub struct AdmissionGate {
+    state: Mutex<GateState>,
+    global_cap: usize,
+    tenant_cap: usize,
+}
+
+/// An admission slot; dropping it releases the slot.
+pub struct Permit {
+    gate: Arc<AdmissionGate>,
+    tenant: String,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `global_cap` jobs overall and
+    /// `tenant_cap` per tenant (both clamped to ≥ 1; a `tenant_cap`
+    /// above `global_cap` is effectively `global_cap`).
+    pub fn new(global_cap: usize, tenant_cap: usize) -> Self {
+        AdmissionGate {
+            state: Mutex::new(GateState::default()),
+            global_cap: global_cap.max(1),
+            tenant_cap: tenant_cap.max(1),
+        }
+    }
+
+    /// Tries to admit one job for `tenant`.
+    ///
+    /// # Errors
+    /// [`Refused`] naming which cap was hit; nothing is held on refusal.
+    pub fn try_acquire(self: &Arc<Self>, tenant: &str) -> Result<Permit, Refused> {
+        let mut state = self.state.lock().expect("gate lock poisoned");
+        if state.total >= self.global_cap {
+            return Err(Refused::ServerSaturated);
+        }
+        let mine = state.per_tenant.get(tenant).copied().unwrap_or(0);
+        if mine >= self.tenant_cap {
+            return Err(Refused::TenantSaturated);
+        }
+        state.total += 1;
+        state.per_tenant.insert(tenant.to_string(), mine + 1);
+        Ok(Permit {
+            gate: Arc::clone(self),
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Jobs currently admitted.
+    pub fn running(&self) -> usize {
+        self.state.lock().expect("gate lock poisoned").total
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().expect("gate lock poisoned");
+        state.total -= 1;
+        match state.per_tenant.get_mut(&self.tenant) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                // Last slot for this tenant: drop the map entry so an
+                // open-ended tenant-name space can't grow the map forever.
+                state.per_tenant.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tenant_cap_leaves_room_for_others() {
+        let gate = Arc::new(AdmissionGate::new(4, 2));
+        let _a1 = gate.try_acquire("a").unwrap();
+        let _a2 = gate.try_acquire("a").unwrap();
+        // Tenant a is at its cap, but the server is not.
+        assert_eq!(gate.try_acquire("a").err(), Some(Refused::TenantSaturated));
+        let _b1 = gate.try_acquire("b").unwrap();
+        let _b2 = gate.try_acquire("b").unwrap();
+        assert_eq!(gate.running(), 4);
+        // Now the global cap bites first, for any tenant.
+        assert_eq!(gate.try_acquire("c").err(), Some(Refused::ServerSaturated));
+    }
+
+    #[test]
+    fn dropping_a_permit_frees_the_slot() {
+        let gate = Arc::new(AdmissionGate::new(2, 1));
+        let a = gate.try_acquire("a").unwrap();
+        assert!(gate.try_acquire("a").is_err());
+        drop(a);
+        assert_eq!(gate.running(), 0);
+        let _again = gate.try_acquire("a").unwrap();
+    }
+
+    #[test]
+    fn tenant_bookkeeping_does_not_leak_names() {
+        let gate = Arc::new(AdmissionGate::new(8, 2));
+        for i in 0..100 {
+            let p = gate.try_acquire(&format!("tenant-{i}")).unwrap();
+            drop(p);
+        }
+        assert!(gate.state.lock().unwrap().per_tenant.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! The server-side catalogue of named workloads, component libraries and
+//! benchmark sample sets — what a remote job descriptor's `workload` /
+//! `library` strings resolve to.
+//!
+//! Tenants name things; the server owns the content. That keeps the wire
+//! format tiny and makes job identity well-defined: within one server,
+//! `(workload name, library name, sample-set name)` pins the exact
+//! Step-1/2 inputs, so the engine can content-address whole jobs by
+//! names + [`autoax::JobSpec`].
+//!
+//! Heavy artifacts (the characterized library, the benchmark images) are
+//! built once per process on first use and shared across jobs.
+
+use autoax_accel::gaussian_fixed::FixedGaussian;
+use autoax_accel::sobel::SobelEd;
+use autoax_circuit::charlib::{build_library, ComponentLibrary, LibraryConfig};
+use autoax_image::synthetic::benchmark_suite;
+use autoax_image::GrayImage;
+use std::sync::{Arc, OnceLock};
+
+/// The image workloads the service can run. Both share the
+/// [`GrayImage`] sample type, so one registry serves them through one
+/// monomorphic pipeline call per variant.
+#[derive(Debug)]
+pub enum NamedWorkload {
+    /// Sobel edge detection (the paper's first case study).
+    Sobel(SobelEd),
+    /// Fixed-coefficient 5×5 Gaussian blur (the paper's second case
+    /// study).
+    Gaussian(FixedGaussian),
+}
+
+impl NamedWorkload {
+    /// The catalogue names, as accepted in job descriptors.
+    pub const NAMES: [&'static str; 2] = ["sobel", "gaussian"];
+
+    fn resolve(name: &str) -> Option<NamedWorkload> {
+        match name {
+            "sobel" => Some(NamedWorkload::Sobel(SobelEd::new())),
+            "gaussian" => Some(NamedWorkload::Gaussian(FixedGaussian::new())),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a job needs to run: the workload instance plus shared
+/// handles on the library and sample set it names.
+pub struct ResolvedJob {
+    /// The workload to drive.
+    pub workload: NamedWorkload,
+    /// The characterized component library.
+    pub lib: Arc<ComponentLibrary>,
+    /// The benchmark samples.
+    pub images: Arc<Vec<GrayImage>>,
+}
+
+/// What a name failed to resolve to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnknownName {
+    /// No workload under this name.
+    Workload(String),
+    /// No library under this name.
+    Library(String),
+}
+
+impl std::fmt::Display for UnknownName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnknownName::Workload(n) => write!(
+                f,
+                "unknown workload `{n}` (expected one of {})",
+                NamedWorkload::NAMES.join("|")
+            ),
+            UnknownName::Library(n) => write!(f, "unknown library `{n}` (expected `tiny`)"),
+        }
+    }
+}
+
+impl std::error::Error for UnknownName {}
+
+impl std::fmt::Debug for ResolvedJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResolvedJob")
+            .field("workload", &self.workload)
+            .field("components", &self.lib.total_size())
+            .field("images", &self.images.len())
+            .finish()
+    }
+}
+
+/// The catalogue. Cheap to construct; the heavy artifacts live in
+/// process-wide lazies.
+#[derive(Default)]
+pub struct Registry;
+
+static TINY_LIB: OnceLock<Arc<ComponentLibrary>> = OnceLock::new();
+static IMAGES: OnceLock<Arc<Vec<GrayImage>>> = OnceLock::new();
+
+impl Registry {
+    /// Resolves a `(workload, library)` name pair.
+    ///
+    /// # Errors
+    /// [`UnknownName`] for the first name that has no catalogue entry.
+    pub fn resolve(&self, workload: &str, library: &str) -> Result<ResolvedJob, UnknownName> {
+        let workload = NamedWorkload::resolve(workload)
+            .ok_or_else(|| UnknownName::Workload(workload.to_string()))?;
+        if library != "tiny" {
+            return Err(UnknownName::Library(library.to_string()));
+        }
+        let lib =
+            Arc::clone(TINY_LIB.get_or_init(|| Arc::new(build_library(&LibraryConfig::tiny()))));
+        let images = Arc::clone(
+            // Small service-tier default: enough texture diversity for
+            // meaningful QoR, small enough that a cold job stays in
+            // seconds (the quick-test suite size, not the paper's).
+            IMAGES.get_or_init(|| Arc::new(benchmark_suite(2, 48, 32, 5))),
+        );
+        Ok(ResolvedJob {
+            workload,
+            lib,
+            images,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_catalogue_names_and_shares_artifacts() {
+        let reg = Registry;
+        let a = reg.resolve("sobel", "tiny").unwrap();
+        let b = reg.resolve("gaussian", "tiny").unwrap();
+        assert!(matches!(a.workload, NamedWorkload::Sobel(_)));
+        assert!(matches!(b.workload, NamedWorkload::Gaussian(_)));
+        // One build, shared: the Arcs must alias.
+        assert!(Arc::ptr_eq(&a.lib, &b.lib));
+        assert!(Arc::ptr_eq(&a.images, &b.images));
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        let reg = Registry;
+        assert_eq!(
+            reg.resolve("fft", "tiny").unwrap_err(),
+            UnknownName::Workload("fft".into())
+        );
+        assert_eq!(
+            reg.resolve("sobel", "huge").unwrap_err(),
+            UnknownName::Library("huge".into())
+        );
+        let msg = reg.resolve("fft", "tiny").unwrap_err().to_string();
+        assert!(msg.contains("sobel"), "{msg}");
+    }
+}

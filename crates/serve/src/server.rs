@@ -1,0 +1,255 @@
+//! The TCP front end: a non-blocking accept loop feeding an
+//! [`autoax_exec::WorkerPool`] of connection handlers.
+//!
+//! One connection = one request = one response (`Connection: close`);
+//! job responses stream as NDJSON so a client sees accepted front
+//! members as soon as the job resolves, without chunked encoding.
+//!
+//! Shutdown is graceful and layered: cancelling the server's token stops
+//! the accept loop, the pool drains connections already accepted, and
+//! the same token — shared with the engine — makes running pipelines
+//! stop at their next stage/round boundary (surfacing as a `500
+//! cancelled` to those clients, never a hung socket).
+
+use crate::engine::{EngineConfig, JobEngine, JobOutcome, JobRequest, Served};
+use crate::http::{read_request, write_error, write_head, HttpLimits, ProtocolError, Request};
+use crate::json::{obj, Json};
+use autoax::CancelToken;
+use autoax_exec::WorkerPool;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server construction knobs.
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Connection-handler threads.
+    pub workers: usize,
+    /// Bounded connection-queue depth beyond the running handlers.
+    pub queue_depth: usize,
+    /// Wire-format limits.
+    pub http: HttpLimits,
+    /// Engine knobs.
+    pub engine: EngineConfig,
+}
+
+impl ServerConfig {
+    /// Loopback server on an OS-assigned port over `cache_dir`.
+    pub fn on_loopback(cache_dir: impl Into<std::path::PathBuf>) -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 16,
+            http: HttpLimits::default(),
+            engine: EngineConfig::new(cache_dir),
+        }
+    }
+}
+
+/// A running server: its address, engine handle and stop switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<JobEngine>,
+    shutdown: CancelToken,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine, for instrumentation (execution counters, stats).
+    pub fn engine(&self) -> &Arc<JobEngine> {
+        &self.engine
+    }
+
+    /// Graceful stop: no new connections, accepted ones drain, running
+    /// pipelines cancel at their next boundary. Blocks until the
+    /// acceptor (and through it the worker pool) has wound down.
+    pub fn stop(mut self) {
+        self.shutdown.cancel();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.cancel();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// Binds and starts serving on a background acceptor thread.
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn spawn(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let engine = Arc::new(JobEngine::new(cfg.engine));
+    let shutdown = engine.shutdown_token();
+    let acceptor = {
+        let engine = Arc::clone(&engine);
+        let shutdown = shutdown.clone();
+        let http = cfg.http;
+        let (workers, queue_depth) = (cfg.workers, cfg.queue_depth);
+        std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(listener, engine, shutdown, http, workers, queue_depth))?
+    };
+    Ok(ServerHandle {
+        addr,
+        engine,
+        shutdown,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<JobEngine>,
+    shutdown: CancelToken,
+    http: HttpLimits,
+    workers: usize,
+    queue_depth: usize,
+) {
+    let mut pool = WorkerPool::new(workers, queue_depth);
+    while !shutdown.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let engine = Arc::clone(&engine);
+                // A refused submit drops the closure — and the stream
+                // inside it, which the client sees as a reset. Load is
+                // shed at the door; the accept loop never stalls.
+                let _ = pool.submit(move || handle_connection(stream, &engine, http));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    pool.shutdown();
+}
+
+fn handle_connection(stream: TcpStream, engine: &Arc<JobEngine>, http: HttpLimits) {
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let request = match read_request(&mut reader, &http) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = write_error(&mut writer, &e);
+            return;
+        }
+    };
+    // Write failures past this point mean the client disconnected
+    // mid-stream; the job itself already ran (or was joined) and its
+    // slots were released by `submit` returning, so we just stop writing.
+    let _ = route(&mut writer, engine, &request);
+    let _ = writer.flush();
+}
+
+fn route(w: &mut impl Write, engine: &Arc<JobEngine>, req: &Request) -> io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => {
+            write_head(w, 200, "OK", "application/json")?;
+            writeln!(w, "{}", obj([("status", Json::Str("ok".into()))]))
+        }
+        ("GET", "/stats") => {
+            let s = engine.stats();
+            write_head(w, 200, "OK", "application/json")?;
+            writeln!(
+                w,
+                "{}",
+                obj([
+                    ("executions", Json::Num(s.executions as f64)),
+                    ("dedup_waits", Json::Num(s.dedup_waits as f64)),
+                    ("result_cache_hits", Json::Num(s.result_cache_hits as f64)),
+                    ("store_lru_hits", Json::Num(s.store.lru_hits as f64)),
+                    ("store_disk_hits", Json::Num(s.store.disk_hits as f64)),
+                    ("store_misses", Json::Num(s.store.misses as f64)),
+                    ("running", Json::Num(engine.running() as f64)),
+                ])
+            )
+        }
+        ("POST", "/jobs") => match submit(engine, req) {
+            Ok(outcome) => stream_outcome(w, &outcome),
+            Err(e) => write_error(w, &e),
+        },
+        _ => write_error(w, &ProtocolError::NotFound),
+    }
+}
+
+fn submit(engine: &Arc<JobEngine>, req: &Request) -> Result<JobOutcome, ProtocolError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ProtocolError::BadJson("body is not UTF-8".to_string()))?;
+    let body = Json::parse(text).map_err(|e| ProtocolError::BadJson(e.to_string()))?;
+    let mut job = JobRequest::from_json(&body)?;
+    if let Some(tenant) = req.header("x-tenant") {
+        // The header wins over the body field: proxies set it.
+        job.tenant = tenant.to_string();
+    }
+    engine.submit(&job)
+}
+
+/// NDJSON job response: an `accepted` event, one line per front member,
+/// a `done` trailer carrying the digest.
+fn stream_outcome(w: &mut impl Write, outcome: &JobOutcome) -> io::Result<()> {
+    let served = match outcome.served {
+        Served::Computed => "computed",
+        Served::Deduped => "deduped",
+        Served::Cached => "cached",
+    };
+    write_head(w, 200, "OK", "application/x-ndjson")?;
+    writeln!(
+        w,
+        "{}",
+        obj([
+            ("event", Json::Str("accepted".into())),
+            ("served", Json::Str(served.into())),
+            ("members", Json::Num(outcome.result.members.len() as f64)),
+        ])
+    )?;
+    for m in &outcome.result.members {
+        writeln!(
+            w,
+            "{}",
+            obj([
+                ("qor", Json::Num(m.qor)),
+                ("area", Json::Num(m.area)),
+                ("energy", Json::Num(m.energy)),
+                (
+                    "genes",
+                    Json::Arr(m.genes.iter().map(|&g| Json::Num(g as f64)).collect())
+                ),
+            ])
+        )?;
+    }
+    writeln!(
+        w,
+        "{}",
+        obj([
+            ("event", Json::Str("done".into())),
+            (
+                "front_digest",
+                Json::Str(format!("{:016x}", outcome.result.front_digest))
+            ),
+            ("qor_metric", Json::Str(outcome.result.qor_metric.clone())),
+        ])
+    )
+}

@@ -220,6 +220,51 @@ impl Loaded {
     }
 }
 
+/// Anything that can load and save sealed, content-addressed blobs — the
+/// seam between the pipeline's warm-start logic and the storage topology
+/// behind it.
+///
+/// [`Store`] is the plain one-directory implementation;
+/// [`crate::sharded::ShardedStore`] is the service tier's concurrent
+/// implementation (key-prefix shards with per-shard locks plus an
+/// in-memory LRU over the disk files). `autoax::pipeline::run_pipeline`
+/// accepts a shared `Arc<dyn BlobStore>`, so N concurrent tenants can
+/// warm-start Steps 1–2 from one process-wide store.
+pub trait BlobStore: Send + Sync + std::fmt::Debug {
+    /// Looks an entry up, validating the container. Semantics of
+    /// [`Store::load`].
+    fn load_blob(&self, kind: &str, key: CacheKey, tag: [u8; 4]) -> Loaded;
+
+    /// Seals and persists an entry (atomic with respect to concurrent
+    /// readers of the same key).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors; the destination is never left torn.
+    fn save_blob(
+        &self,
+        kind: &str,
+        key: CacheKey,
+        tag: [u8; 4],
+        payload: Vec<u8>,
+    ) -> Result<(), StoreError>;
+}
+
+impl BlobStore for Store {
+    fn load_blob(&self, kind: &str, key: CacheKey, tag: [u8; 4]) -> Loaded {
+        self.load(kind, key, tag)
+    }
+
+    fn save_blob(
+        &self,
+        kind: &str,
+        key: CacheKey,
+        tag: [u8; 4],
+        payload: Vec<u8>,
+    ) -> Result<(), StoreError> {
+        self.save(kind, key, tag, payload).map(|_| ())
+    }
+}
+
 /// A directory of sealed, content-addressed blobs.
 #[derive(Debug, Clone)]
 pub struct Store {

@@ -22,10 +22,15 @@
 //! * [`ml_codec`] — round-trip for fitted
 //!   [`autoax_ml::engine::Regressor`] models (random forest, decision
 //!   tree and the linear family);
-//! * [`cache`] — [`cache::CacheMode`], 128-bit content-address keys and
-//!   the atomic-write file store;
+//! * [`cache`] — [`cache::CacheMode`], 128-bit content-address keys, the
+//!   atomic-write file store and the [`cache::BlobStore`] seam the
+//!   pipeline loads/saves through;
 //! * [`library`] — [`library::load_or_build_library`], the warm-start
-//!   entry point for the characterized component library.
+//!   entry point for the characterized component library;
+//! * [`lru`] / [`sharded`] — the service tier: a byte-budgeted in-memory
+//!   LRU and the key-prefix-sharded, per-shard-locked
+//!   [`sharded::ShardedStore`] that lets N concurrent tenants share one
+//!   warm store.
 //!
 //! # Example
 //!
@@ -54,10 +59,14 @@ pub mod circuit_codec;
 pub mod codec;
 pub mod container;
 pub mod library;
+pub mod lru;
 pub mod ml_codec;
+pub mod sharded;
 
-pub use cache::{parse_cache_flags, CacheKey, CacheMode, KeyHasher, Loaded, Store};
+pub use cache::{parse_cache_flags, BlobStore, CacheKey, CacheMode, KeyHasher, Loaded, Store};
 pub use library::load_or_build_library;
+pub use lru::LruCache;
+pub use sharded::{ShardedStore, StoreStats};
 
 /// Errors of the persistence layer.
 ///

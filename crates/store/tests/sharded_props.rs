@@ -1,0 +1,129 @@
+//! Property tests for [`ShardedStore`]: under arbitrary operation
+//! interleavings it must be observationally identical to the plain
+//! unsharded [`Store`] (sharding + the LRU tier are pure performance,
+//! never semantics), and the LRU may never serve stale bytes once a key
+//! has been overwritten.
+
+use autoax_store::cache::KeyHasher;
+use autoax_store::{BlobStore, CacheKey, Loaded, ShardedStore, Store};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const KIND: &str = "prop";
+const TAG: [u8; 4] = *b"PROP";
+
+/// Fresh scratch directory per proptest case (cases run sequentially
+/// within a test, but tests run in parallel across threads).
+fn scratch(label: &str) -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "autoax-store-props-{}-{label}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small fixed key alphabet, so interleavings revisit keys often
+/// (that is where overwrite/promotion bugs live, not in fresh keys).
+fn key(idx: usize) -> CacheKey {
+    let mut h = KeyHasher::new("sharded-props");
+    h.write_u64(idx as u64);
+    h.finish()
+}
+
+/// One scripted operation: `(op, key index, payload)`.
+/// op 0 = save, 1 = load, 2 = drop the sharded store's memory tier
+/// (a no-op for the unsharded reference — semantics must not change).
+type Op = (u8, usize, Vec<u8>);
+
+fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (
+            0u8..3,
+            0usize..4,
+            proptest::collection::vec(any::<u8>(), 0..48),
+        ),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Replays the same script against the sharded store and the plain
+    /// store; every load must observe the same outcome from both.
+    #[test]
+    fn sharded_store_is_observationally_a_store(ops in op_strategy()) {
+        let sharded = ShardedStore::new(scratch("pair-sharded"), 3, 1 << 12);
+        let plain = Store::new(scratch("pair-plain"));
+        for (op, idx, payload) in ops {
+            match op {
+                0 => {
+                    sharded.save_blob(KIND, key(idx), TAG, payload.clone()).unwrap();
+                    plain.save_blob(KIND, key(idx), TAG, payload).unwrap();
+                }
+                1 => {
+                    let a = sharded.load_blob(KIND, key(idx), TAG);
+                    let b = plain.load_blob(KIND, key(idx), TAG);
+                    match (a, b) {
+                        (Loaded::Hit(x), Loaded::Hit(y)) => prop_assert_eq!(x, y),
+                        (Loaded::Miss, Loaded::Miss) => {}
+                        (a, b) => prop_assert!(
+                            false,
+                            "stores disagree on key {}: sharded={a:?} plain={b:?}",
+                            idx
+                        ),
+                    }
+                }
+                _ => sharded.flush_memory(),
+            }
+        }
+    }
+
+    /// After any interleaving of saves, loads and memory flushes, a load
+    /// returns the *last* payload saved under the key — from whichever
+    /// tier answers. The memory tier may never serve bytes an overwrite
+    /// obsoleted.
+    #[test]
+    fn lru_never_serves_stale_bytes(ops in op_strategy()) {
+        let sharded = ShardedStore::new(scratch("stale"), 2, 1 << 12);
+        let mut last_written: HashMap<usize, Vec<u8>> = HashMap::new();
+        for (op, idx, payload) in ops {
+            match op {
+                0 => {
+                    sharded.save_blob(KIND, key(idx), TAG, payload.clone()).unwrap();
+                    last_written.insert(idx, payload);
+                }
+                1 => match (sharded.load_blob(KIND, key(idx), TAG), last_written.get(&idx)) {
+                    (Loaded::Hit(got), Some(want)) => prop_assert_eq!(&got, want),
+                    (Loaded::Miss, None) => {}
+                    (got, want) => prop_assert!(
+                        false,
+                        "key {}: got {got:?}, model has {want:?}",
+                        idx
+                    ),
+                },
+                _ => sharded.flush_memory(),
+            }
+        }
+        // Closing sweep: every key the script ever wrote still reads
+        // back as its final payload, through the LRU and past it.
+        for (idx, want) in &last_written {
+            match sharded.load_blob(KIND, key(*idx), TAG) {
+                Loaded::Hit(got) => prop_assert_eq!(&got, want, "pre-flush key {}", idx),
+                other => prop_assert!(false, "pre-flush key {}: {other:?}", idx),
+            }
+        }
+        sharded.flush_memory();
+        for (idx, want) in &last_written {
+            match sharded.load_blob(KIND, key(*idx), TAG) {
+                Loaded::Hit(got) => prop_assert_eq!(&got, want, "post-flush key {}", idx),
+                other => prop_assert!(false, "post-flush key {}: {other:?}", idx),
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! DSE-as-a-service demo: starts the `autoax-serve` engine on loopback,
+//! fires three concurrent jobs at it — two byte-identical, one with a
+//! different seed — and shows the service machinery at work: the
+//! identical pair collapses onto one pipeline execution (single-flight),
+//! the distinct job runs on its own, and a repeat submission afterwards
+//! is answered straight from the sharded result store.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! cargo run --release --example serve_demo -- --cache-dir .axcache   # warm repeats
+//! ```
+//!
+//! The digest lines are byte-identity fingerprints: the two identical
+//! submissions (and any later cached repeat) must print the same one.
+
+use autoax_serve::client;
+use autoax_serve::{Json, ServerConfig};
+use std::time::Instant;
+
+fn job_body(seed: u64) -> Json {
+    autoax_serve::json::obj([
+        ("workload", Json::Str("sobel".into())),
+        ("library", Json::Str("tiny".into())),
+        ("strategy", Json::Str("hill".into())),
+        ("max_evals", Json::Num(300.0)),
+        ("train_configs", Json::Num(16.0)),
+        ("test_configs", Json::Num(10.0)),
+        ("final_eval_cap", Json::Num(8.0)),
+        ("seed", Json::Num(seed as f64)),
+    ])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let cache_dir = args
+        .iter()
+        .position(|a| a == "--cache-dir")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join(format!("autoax-serve-demo-{}", std::process::id()))
+                .to_string_lossy()
+                .into_owned()
+        });
+
+    let mut cfg = ServerConfig::on_loopback(&cache_dir);
+    cfg.engine.global_jobs = 4;
+    let server = autoax_serve::spawn(cfg)?;
+    let addr = server.addr();
+    println!("serving on http://{addr}  (cache: {cache_dir})");
+
+    // Three tenants submit concurrently; alice and bob ask for the exact
+    // same job, carol for a different seed.
+    let t0 = Instant::now();
+    let submissions = [("alice", 42u64), ("bob", 42), ("carol", 7)];
+    let handles: Vec<_> = submissions
+        .map(|(tenant, seed)| {
+            std::thread::spawn(move || (tenant, client::submit_job(addr, tenant, &job_body(seed))))
+        })
+        .into_iter()
+        .collect();
+    for h in handles {
+        let (tenant, resp) = h.join().expect("client thread");
+        let resp = resp?;
+        println!(
+            "{tenant:>6}: {} served={} members={} digest={}",
+            resp.status,
+            resp.served().unwrap_or("?"),
+            resp.event("accepted")
+                .and_then(|e| e.get("members"))
+                .and_then(Json::as_usize)
+                .unwrap_or(0),
+            resp.front_digest().unwrap_or("?"),
+        );
+    }
+    println!("3 submissions resolved in {:.1?}", t0.elapsed());
+
+    // Alice asks again: same bytes, no pipeline run, answered from the
+    // store (its in-memory LRU tier on a same-process repeat).
+    let t1 = Instant::now();
+    let repeat = client::submit_job(addr, "alice", &job_body(42))?;
+    println!(
+        "repeat: {} served={} digest={} in {:.1?}",
+        repeat.status,
+        repeat.served().unwrap_or("?"),
+        repeat.front_digest().unwrap_or("?"),
+        t1.elapsed()
+    );
+
+    let stats = client::request(addr, "GET", "/stats", &[], None)?;
+    println!("stats:  {}", stats.lines[0]);
+
+    let executions = server.engine().executions();
+    server.stop();
+    println!("server stopped; pipeline executions: {executions} (for 4 submissions)");
+    if executions > 2 {
+        return Err(format!("expected at most 2 executions, saw {executions}").into());
+    }
+    Ok(())
+}
