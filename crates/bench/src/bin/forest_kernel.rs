@@ -1,0 +1,178 @@
+//! Measures the fused forest-inference kernel against the matrix +
+//! pointer-walk baseline on a paper-shaped Sobel study: random-forest QoR
+//! and hardware models driven over a columnar candidate batch in the
+//! search layer's 32-row slices, single-threaded, reporting candidate
+//! evaluations per second for both paths (one evaluation = one genome
+//! through *both* models).
+//!
+//! ```sh
+//! cargo run --release -p autoax-bench --bin forest_kernel -- --scale default
+//! ```
+//!
+//! CI runs the quick scale with a floor on the fused/matrix ratio:
+//!
+//! ```sh
+//! cargo run --release -p autoax-bench --bin forest_kernel -- \
+//!     --scale quick --assert-speedup 1.0
+//! ```
+//!
+//! Both paths produce bitwise-identical points (asserted on every run),
+//! so the ratio is pure throughput.
+
+use autoax::evaluate::Evaluator;
+use autoax::model::{fit_models, EvaluatedSet, ModelEstimator};
+use autoax::preprocess::{preprocess, PreprocessOptions};
+use autoax::search::{ConfigBatch, Estimator};
+use autoax::TradeoffPoint;
+use autoax_accel::sobel::SobelEd;
+use autoax_bench::{sobel_image_suite, write_bench_section, Json, Scale};
+use autoax_circuit::charlib::build_library;
+use autoax_ml::EngineKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Rows per `estimate_slice` call — the search layer's round granularity.
+const SLICE: usize = 32;
+
+/// Parses `--<name> <x>` / `--<name>=<x>` into a number.
+fn num_arg<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    let eq = format!("--{name}=");
+    let bare = format!("--{name}");
+    for (i, a) in args.iter().enumerate() {
+        let v = if let Some(rest) = a.strip_prefix(&eq) {
+            Some(rest.to_string())
+        } else if *a == bare {
+            args.get(i + 1).cloned()
+        } else {
+            None
+        };
+        if let Some(v) = v {
+            match v.parse() {
+                Ok(n) => return Some(n),
+                Err(_) => panic!("--{name} takes a number, got `{v}`"),
+            }
+        }
+    }
+    None
+}
+
+/// One timed pass structure: drives the estimator over the whole batch in
+/// `SLICE`-row chunks until `min_time` elapses, returning evals/s and the
+/// points of the final pass (for the parity check).
+fn measure(
+    est: &ModelEstimator<'_>,
+    batch: &ConfigBatch,
+    min_time: f64,
+) -> (f64, Vec<TradeoffPoint>) {
+    let n = batch.len();
+    let mut out: Vec<TradeoffPoint> = Vec::with_capacity(n);
+    let pass = |out: &mut Vec<TradeoffPoint>| {
+        out.clear();
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + SLICE).min(n);
+            est.estimate_slice(batch.slice(lo..hi), out);
+            lo = hi;
+        }
+    };
+    pass(&mut out); // warm-up: fault pages, fill caches
+    let start = Instant::now();
+    let mut rows = 0u64;
+    loop {
+        pass(&mut out);
+        black_box(&out);
+        rows += n as u64;
+        if start.elapsed().as_secs_f64() >= min_time {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (rows as f64 / secs, out)
+}
+
+fn main() {
+    // Single-thread measurement: the kernel comparison is about work per
+    // core, not the parallel schedule.
+    std::env::set_var(autoax_exec::THREADS_ENV, "1");
+    let scale = Scale::from_args();
+    let assert_min: Option<f64> = num_arg("assert-speedup");
+    let (batch_rows, min_time) = match scale {
+        Scale::Quick => (2_048, 0.3),
+        Scale::Default => (8_192, 1.5),
+        Scale::Paper => (16_384, 4.0),
+    };
+
+    println!("building library (scale {}) ...", scale.label());
+    let lib = build_library(&scale.library_config());
+    let accel = SobelEd::new();
+    let images = sobel_image_suite(scale);
+    let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).expect("preprocess");
+    let evaluator = Evaluator::new(&accel, &lib, &pre.space, &images);
+    // `--train <n>` sizes the models independently of the image/library
+    // scale (e.g. `--scale quick --train 1500` measures paper-sized
+    // forests without the paper-scale evaluation cost).
+    let train_n = num_arg("train").unwrap_or(scale.model_budget().0);
+    println!("fitting random-forest models on {train_n} configurations ...");
+    let train = EvaluatedSet::generate(&evaluator, &pre.space, train_n, 1);
+    let models = fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).expect("fit");
+
+    let members: Vec<usize> = pre.space.slots().iter().map(|s| s.members.len()).collect();
+    println!("slots: {} (members per slot: {members:?})", members.len());
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut batch = ConfigBatch::with_capacity(pre.space.slot_count(), batch_rows);
+    for _ in 0..batch_rows {
+        pre.space.random_into(batch.push_row(), &mut rng);
+    }
+
+    let fused = ModelEstimator::new(&models, &pre.space, &lib);
+    let matrix = ModelEstimator::new_unfused(&models, &pre.space, &lib);
+    assert_eq!(fused.fused(), (true, true), "forest models must fuse");
+    assert_eq!(matrix.fused(), (false, false));
+
+    println!(
+        "timing {} candidate rows per pass, {}-row slices, single thread ...",
+        batch_rows, SLICE
+    );
+    let (matrix_eps, matrix_pts) = measure(&matrix, &batch, min_time);
+    let (fused_eps, fused_pts) = measure(&fused, &batch, min_time);
+
+    // Both paths must agree bit for bit — the speedup is free of any
+    // numeric drift by construction.
+    assert_eq!(matrix_pts.len(), fused_pts.len());
+    for (i, (m, f)) in matrix_pts.iter().zip(&fused_pts).enumerate() {
+        assert_eq!(m.qor.to_bits(), f.qor.to_bits(), "row {i}: qor diverged");
+        assert_eq!(m.cost.to_bits(), f.cost.to_bits(), "row {i}: cost diverged");
+    }
+
+    let speedup = fused_eps / matrix_eps;
+    println!("\nforest_kernel ({} scale, single thread)", scale.label());
+    println!("  matrix + pointer-walk: {matrix_eps:>12.0} evals/s");
+    println!("  fused gather+traverse: {fused_eps:>12.0} evals/s");
+    println!("  speedup:               {speedup:>12.2}x");
+
+    write_bench_section(
+        "forest_kernel",
+        &Json::Obj(vec![
+            ("scale".into(), Json::Str(scale.label().into())),
+            ("train_configs".into(), Json::int(train_n as u64)),
+            ("threads".into(), Json::int(1)),
+            ("batch_rows".into(), Json::int(batch_rows as u64)),
+            ("slice_rows".into(), Json::int(SLICE as u64)),
+            ("matrix_evals_per_sec".into(), Json::Num(matrix_eps)),
+            ("fused_evals_per_sec".into(), Json::Num(fused_eps)),
+            ("speedup".into(), Json::Num(speedup)),
+        ]),
+    );
+
+    if let Some(min) = assert_min {
+        assert!(
+            speedup >= min,
+            "fused path regressed: {speedup:.2}x < required {min:.2}x"
+        );
+        println!("speedup floor {min:.2}x satisfied");
+    }
+}

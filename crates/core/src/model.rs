@@ -200,11 +200,20 @@ impl FittedModels {
 /// Construction precomputes per-slot feature tables (WMED per candidate
 /// for the QoR model; `(area, power, delay)` per candidate for the
 /// hardware model), so the columnar hot path —
-/// [`crate::search::Estimator::estimate_slice`] — encodes a whole
-/// [`crate::search::ConfigSlice`] into the two feature matrices by pure
-/// table gather, with **zero per-candidate heap allocations**, and runs a
-/// single batched [`Regressor::predict`] per model. Per-row results are
-/// bitwise identical to the scalar [`qor_features`]/[`hw_features`] path.
+/// [`crate::search::Estimator::estimate_slice`] — never builds features
+/// per candidate on the heap.
+///
+/// For forest/tree models (detected through [`Regressor::as_any`]) the
+/// adapter goes further: each model is compiled into a
+/// structure-of-arrays [`autoax_ml::CompiledForest`] arena and the
+/// per-slot feature tables are baked *into* the arena's feature indices
+/// ([`autoax_ml::GatherForest`]), so `estimate_slice` runs one fused
+/// gather+traverse kernel straight off the `u16` genome slab — the
+/// feature [`Matrix`] is never materialized. Other engines keep the
+/// matrix path: features are gathered into reused scratch and predicted
+/// with one batched [`Regressor::predict_into`] per model. Both paths are
+/// bitwise identical to the scalar [`qor_features`]/[`hw_features`]
+/// estimation.
 pub struct ModelEstimator<'a> {
     /// The fitted QoR and hardware models.
     pub models: &'a FittedModels,
@@ -216,21 +225,46 @@ pub struct ModelEstimator<'a> {
     qor_table: Vec<Vec<f64>>,
     /// `hw_table[slot][member]` = `[area, power, delay]`.
     hw_table: Vec<Vec<[f64; 3]>>,
+    /// Fused QoR kernel (compiled forest with baked WMED tables).
+    qor_fused: Option<autoax_ml::GatherForest>,
+    /// Fused hardware kernel (compiled forest with baked hw tables).
+    hw_fused: Option<autoax_ml::GatherForest>,
 }
 
 impl<'a> ModelEstimator<'a> {
-    /// Creates the adapter, precomputing the per-slot feature tables.
+    /// Creates the adapter, precomputing the per-slot feature tables and
+    /// compiling forest/tree models into their fused kernels.
     pub fn new(
         models: &'a FittedModels,
         space: &'a ConfigSpace,
         lib: &'a ComponentLibrary,
     ) -> Self {
-        let qor_table = space
+        Self::with_fusion(models, space, lib, true)
+    }
+
+    /// The matrix-path-only adapter (no compiled-forest fusion) — the
+    /// baseline the `forest_kernel` bench and the parity tests compare
+    /// the fused kernel against.
+    pub fn new_unfused(
+        models: &'a FittedModels,
+        space: &'a ConfigSpace,
+        lib: &'a ComponentLibrary,
+    ) -> Self {
+        Self::with_fusion(models, space, lib, false)
+    }
+
+    fn with_fusion(
+        models: &'a FittedModels,
+        space: &'a ConfigSpace,
+        lib: &'a ComponentLibrary,
+        fuse: bool,
+    ) -> Self {
+        let qor_table: Vec<Vec<f64>> = space
             .slots()
             .iter()
             .map(|s| s.members.iter().map(|m| m.wmed).collect())
             .collect();
-        let hw_table = space
+        let hw_table: Vec<Vec<[f64; 3]>> = space
             .slots()
             .iter()
             .map(|s| {
@@ -243,13 +277,61 @@ impl<'a> ModelEstimator<'a> {
                     .collect()
             })
             .collect();
+        let slots = space.slot_count();
+        let (qor_fused, hw_fused) = if fuse {
+            // Bake the gather tables into compiled arenas: QoR feature f
+            // is slot f's WMED; hardware feature f is lane f%3 of slot
+            // f/3 — exactly the columns qor_features/hw_features emit.
+            let qor_layout = autoax_ml::GatherLayout {
+                stride: slots,
+                slot_of: (0..slots as u32).collect(),
+                values: qor_table.clone(),
+            };
+            let hw_layout = autoax_ml::GatherLayout {
+                stride: slots,
+                slot_of: (0..3 * slots as u32).map(|f| f / 3).collect(),
+                values: (0..3 * slots)
+                    .map(|f| hw_table[f / 3].iter().map(|hw| hw[f % 3]).collect())
+                    .collect(),
+            };
+            (
+                compile_tree_model(models.qor.as_ref())
+                    .and_then(|cf| cf.bake_gather(&qor_layout).ok()),
+                compile_tree_model(models.hw.as_ref())
+                    .and_then(|cf| cf.bake_gather(&hw_layout).ok()),
+            )
+        } else {
+            (None, None)
+        };
         ModelEstimator {
             models,
             space,
             lib,
             qor_table,
             hw_table,
+            qor_fused,
+            hw_fused,
         }
+    }
+
+    /// Whether the `(qor, hw)` models run on the fused compiled-forest
+    /// kernel (forest/tree engines) instead of the matrix path.
+    pub fn fused(&self) -> (bool, bool) {
+        (self.qor_fused.is_some(), self.hw_fused.is_some())
+    }
+}
+
+/// Compiles a regressor into a [`autoax_ml::CompiledForest`] when its
+/// concrete type is a forest or a single CART tree (the only engines with
+/// an arena representation); `None` sends the model down the matrix path.
+fn compile_tree_model(r: &dyn Regressor) -> Option<autoax_ml::CompiledForest> {
+    let any = r.as_any()?;
+    if let Some(f) = any.downcast_ref::<autoax_ml::forest::RandomForest>() {
+        autoax_ml::CompiledForest::from_forest(f).ok()
+    } else if let Some(t) = any.downcast_ref::<autoax_ml::tree::DecisionTree>() {
+        autoax_ml::CompiledForest::from_tree(t).ok()
+    } else {
+        None
     }
 }
 
@@ -278,38 +360,58 @@ impl crate::search::Estimator for ModelEstimator<'_> {
         }
         let slots = rows.stride();
         debug_assert_eq!(slots, self.space.slot_count(), "genome shape mismatch");
-        // Gather both feature matrices straight from the slab — the same
-        // values qor_features/hw_features would produce, in the same
-        // order, so predictions are bitwise identical to the scalar path —
-        // into per-thread scratch buffers reused across calls (a search
-        // makes tens of thousands of slice calls; the gather itself must
-        // not allocate).
+        // Per-thread scratch reused across calls (a search makes tens of
+        // thousands of slice calls; neither the feature gather nor the
+        // prediction output may allocate per round): feature slabs for
+        // the matrix path, prediction vectors for both paths.
         thread_local! {
-            static SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
-                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+            #[allow(clippy::type_complexity)]
+            static SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new(), Vec::new())) };
         }
         SCRATCH.with(|scratch| {
-            let (mut qdata, mut hdata) = scratch.take();
-            qdata.clear();
-            hdata.clear();
-            qdata.reserve(n * slots);
-            hdata.reserve(n * slots * 3);
-            for genome in rows.rows() {
-                for (slot, &g) in genome.iter().enumerate() {
-                    qdata.push(self.qor_table[slot][g as usize]);
-                    hdata.extend_from_slice(&self.hw_table[slot][g as usize]);
+            let (mut qdata, mut hdata, mut qpred, mut hpred) = scratch.take();
+            match &self.qor_fused {
+                // Fused path: gather+traverse in one kernel straight off
+                // the u16 slab — no feature matrix exists.
+                Some(g) => g.predict_genomes_into(rows.genes(), &mut qpred),
+                // Matrix path: gather the same values qor_features would
+                // produce, in the same order, into reused scratch.
+                None => {
+                    qdata.clear();
+                    qdata.reserve(n * slots);
+                    for genome in rows.rows() {
+                        for (slot, &g) in genome.iter().enumerate() {
+                            qdata.push(self.qor_table[slot][g as usize]);
+                        }
+                    }
+                    let qm = Matrix::from_vec(n, slots, std::mem::take(&mut qdata));
+                    self.models.qor.predict_into(&qm, &mut qpred);
+                    qdata = qm.into_vec();
                 }
             }
-            let qm = Matrix::from_vec(n, slots, qdata);
-            let hm = Matrix::from_vec(n, slots * 3, hdata);
-            let q = self.models.qor.predict(&qm);
-            let h = self.models.hw.predict(&hm);
-            scratch.replace((qm.into_vec(), hm.into_vec()));
+            match &self.hw_fused {
+                Some(g) => g.predict_genomes_into(rows.genes(), &mut hpred),
+                None => {
+                    hdata.clear();
+                    hdata.reserve(n * slots * 3);
+                    for genome in rows.rows() {
+                        for (slot, &g) in genome.iter().enumerate() {
+                            hdata.extend_from_slice(&self.hw_table[slot][g as usize]);
+                        }
+                    }
+                    let hm = Matrix::from_vec(n, slots * 3, std::mem::take(&mut hdata));
+                    self.models.hw.predict_into(&hm, &mut hpred);
+                    hdata = hm.into_vec();
+                }
+            }
             out.extend(
-                q.into_iter()
-                    .zip(h)
-                    .map(|(q, hw)| crate::pareto::TradeoffPoint::new(q, hw)),
+                qpred
+                    .iter()
+                    .zip(&hpred)
+                    .map(|(&q, &hw)| crate::pareto::TradeoffPoint::new(q, hw)),
             );
+            scratch.replace((qdata, hdata, qpred, hpred));
         });
     }
 }
@@ -532,6 +634,62 @@ mod tests {
                 assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "chunk={chunk}");
             }
         }
+    }
+
+    #[test]
+    fn fused_kernel_engages_for_tree_models_and_matches_matrix_path() {
+        use crate::search::Estimator;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = setup();
+        let ev = Evaluator::new(&s.accel, &s.lib, &s.pre.space, &s.images);
+        let train = EvaluatedSet::generate(&ev, &s.pre.space, 50, 4);
+        let mut rng = StdRng::seed_from_u64(21);
+        let configs: Vec<Configuration> = (0..61).map(|_| s.pre.space.random(&mut rng)).collect();
+        let slab = crate::search::ConfigBatch::from_configs(&configs);
+        for kind in EngineKind::ALL {
+            let models = fit_models(kind, &s.pre.space, &s.lib, &train, 9)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            let fused = ModelEstimator::new(&models, &s.pre.space, &s.lib);
+            let unfused = ModelEstimator::new_unfused(&models, &s.pre.space, &s.lib);
+            assert_eq!(unfused.fused(), (false, false), "{kind}");
+            let tree_like = matches!(kind, EngineKind::RandomForest | EngineKind::DecisionTree);
+            assert_eq!(
+                fused.fused(),
+                (tree_like, tree_like),
+                "{kind}: fusion must engage exactly for forest/tree models"
+            );
+            // identical bits at search-realistic slice granularity
+            for chunk in [1, 7, 32, 61] {
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                let mut start = 0;
+                while start < slab.len() {
+                    let end = (start + chunk).min(slab.len());
+                    fused.estimate_slice(slab.slice(start..end), &mut a);
+                    unfused.estimate_slice(slab.slice(start..end), &mut b);
+                    start = end;
+                }
+                assert_eq!(a.len(), configs.len());
+                for (i, (fa, fb)) in a.iter().zip(&b).enumerate() {
+                    assert_eq!(fa.qor.to_bits(), fb.qor.to_bits(), "{kind} qor row {i}");
+                    assert_eq!(fa.cost.to_bits(), fb.cost.to_bits(), "{kind} hw row {i}");
+                }
+                // and both equal the scalar estimate
+                for (c, fa) in configs.iter().zip(&a) {
+                    let one = fused.estimate(c);
+                    assert_eq!(one.qor.to_bits(), fa.qor.to_bits(), "{kind} chunk {chunk}");
+                    assert_eq!(
+                        one.cost.to_bits(),
+                        fa.cost.to_bits(),
+                        "{kind} chunk {chunk}"
+                    );
+                }
+            }
+        }
+        // naive fixed-weight models go down the matrix path untouched
+        let naive = naive_models(&s.pre.space);
+        let est = ModelEstimator::new(&naive, &s.pre.space, &s.lib);
+        assert_eq!(est.fused(), (false, false));
     }
 
     #[test]

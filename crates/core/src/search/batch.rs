@@ -181,6 +181,12 @@ impl<'a> ConfigSlice<'a> {
     pub fn rows(&self) -> impl Iterator<Item = &'a [u16]> {
         self.genes.chunks_exact(self.stride)
     }
+
+    /// The raw row-major gene slab (length = `len() * stride()`) — what
+    /// the fused forest kernel consumes directly.
+    pub fn genes(&self) -> &'a [u16] {
+        self.genes
+    }
 }
 
 #[cfg(test)]

@@ -122,6 +122,62 @@ where
     results.into_iter().flatten().flatten().collect()
 }
 
+/// Block scheduler for batched kernels: maps `f` over successive
+/// `block`-sized index ranges of `0..n` in parallel, preserving block
+/// order. The block size is part of the *result semantics* of callers
+/// like batched forest prediction (fixed blocks keep outputs independent
+/// of the worker count), so it is an explicit parameter, never derived
+/// from the thread count.
+///
+/// Unlike slicing + [`par_map`], no intermediate range vector is built;
+/// workers receive contiguous spans of block indices.
+///
+/// # Panics
+/// Panics when `block` is zero.
+pub fn par_map_range<U, F>(n: usize, block: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(std::ops::Range<usize>) -> U + Sync,
+{
+    par_map_range_with(thread_count(), n, block, f)
+}
+
+/// [`par_map_range`] with an explicit worker-thread count.
+///
+/// # Panics
+/// Panics when `block` is zero.
+pub fn par_map_range_with<U, F>(threads: usize, n: usize, block: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(std::ops::Range<usize>) -> U + Sync,
+{
+    assert!(block > 0, "block size must be positive");
+    let blocks = n.div_ceil(block);
+    let range_of = |bi: usize| bi * block..((bi + 1) * block).min(n);
+    if blocks < 2 || blocks * block < PAR_MAP_MIN_LEN || threads <= 1 {
+        return (0..blocks).map(range_of).map(&f).collect();
+    }
+    let span = blocks.div_ceil(threads.min(blocks));
+    let mut results: Vec<Option<Vec<U>>> = Vec::new();
+    results.resize_with(blocks.div_ceil(span), || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let range_of = &range_of;
+        let mut handles = Vec::new();
+        for (ci, lo) in (0..blocks).step_by(span).enumerate() {
+            let hi = (lo + span).min(blocks);
+            handles.push((
+                ci,
+                scope.spawn(move || (lo..hi).map(range_of).map(f).collect::<Vec<U>>()),
+            ));
+        }
+        for (ci, h) in handles {
+            results[ci] = Some(h.join().expect("par_map_range worker panicked"));
+        }
+    });
+    results.into_iter().flatten().flatten().collect()
+}
+
 /// Maps `f` over owned `items` in parallel, preserving order.
 ///
 /// Unlike [`par_map_with`] this is meant for a *small number of expensive,
@@ -246,6 +302,31 @@ mod tests {
         let many: Vec<u64> = (0..97).collect();
         let expect: Vec<u64> = many.iter().map(|x| x + 1).collect();
         assert_eq!(par_map_coarse(&many, |x| x + 1), expect);
+    }
+
+    #[test]
+    fn par_map_range_covers_exactly_and_in_order() {
+        let got = par_map_range(103, 8, |r| r);
+        let flat: Vec<usize> = got.into_iter().flatten().collect();
+        assert_eq!(flat, (0..103).collect::<Vec<_>>());
+        // a single block never pays for a thread spawn
+        assert_eq!(par_map_range(32, 32, |r| r), vec![0..32]);
+        // short tail block is its own range
+        let blocks = par_map_range(10, 4, |r| (r.start, r.end));
+        assert_eq!(blocks, vec![(0, 4), (4, 8), (8, 10)]);
+        assert!(par_map_range(0, 4, |r| r).is_empty());
+    }
+
+    #[test]
+    fn par_map_range_is_thread_invariant() {
+        let expect: Vec<usize> = par_map_range_with(1, 1000, 7, |r| r.end * 3 - r.start);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(
+                par_map_range_with(threads, 1000, 7, |r| r.end * 3 - r.start),
+                expect,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,1077 @@
+//! Compiled forest inference: the estimation kernel behind the Step-3
+//! hot path.
+//!
+//! A fitted [`RandomForest`]/[`DecisionTree`] walks pointer-chasing
+//! [`crate::tree::NodeRepr`]-shaped enum nodes one row at a time — fine
+//! for fitting, hostile to a search loop that performs 10⁵–10⁶ model
+//! estimates per run. [`CompiledForest`] flattens **all** trees into one
+//! structure-of-arrays arena (contiguous `feature`/`threshold`/`left`/
+//! `right`/`leaf` lanes, trees concatenated with root offsets) and
+//! predicts whole batches with a *branchless* batch-major traversal:
+//!
+//! * leaves are encoded as self-loops (`left == right == self`, threshold
+//!   `NaN` so `x <= t` is always false), which makes every node a split
+//!   and the step `idx = if x <= t { left } else { right }` a pure
+//!   arithmetic select (mask/cmov — no data-dependent branch);
+//! * trees run in the outer loop over a block of rows, so one tree's
+//!   lanes stay cache-hot across the whole block;
+//! * per-row accumulation happens in tree order with a single final
+//!   division, exactly like [`crate::engine::Regressor::predict_row`] — results are
+//!   **bitwise identical** to the pointer walk.
+//!
+//! [`GatherForest`] goes one step further for the DSE: the per-slot
+//! feature tables of the estimator are pre-baked *into* the arena's
+//! feature indices (each node stores a flat table offset plus the genome
+//! slot that selects the row), so prediction runs straight off a `u16`
+//! genome slab — the feature matrix is never materialized. An explicit
+//! AVX2 variant (4 rows per instruction stream, `vgatherqpd` lane loads,
+//! `vcmppd`/`vblendvpd` select) is runtime-dispatched on `x86_64`; the
+//! scalar mask-select fallback is bit-identical.
+
+use crate::engine::TrainError;
+use crate::forest::RandomForest;
+use crate::linalg::Matrix;
+use crate::tree::{DecisionTree, NodeRepr};
+
+/// Rows per traversal block: one tree's lanes are reused across this many
+/// rows before the next tree streams in. Matches the cache-blocking of
+/// [`RandomForest::predict`] and comfortably covers the search layer's
+/// 32-candidate estimation rounds.
+const BLOCK: usize = 64;
+
+/// All trees of a fitted ensemble flattened into one structure-of-arrays
+/// arena. See the module docs for the layout and identity guarantees.
+#[derive(Debug, Clone)]
+pub struct CompiledForest {
+    /// Feature column tested at each node (0 for leaves).
+    feature: Vec<u32>,
+    /// Split threshold (`NaN` for leaves, so `x <= t` never holds).
+    threshold: Vec<f64>,
+    /// Left child (self for leaves).
+    left: Vec<u32>,
+    /// Right child (self for leaves).
+    right: Vec<u32>,
+    /// Leaf value (0 for splits — never read there).
+    leaf: Vec<f64>,
+    /// Root node index per tree.
+    roots: Vec<u32>,
+    /// Deepest leaf per tree: the fixed trip count of its traversal.
+    depths: Vec<u32>,
+    /// Feature-vector width the arena was compiled for.
+    n_features: usize,
+    /// Final per-row division (tree count for forests, 1 for a tree) —
+    /// dividing (not multiplying by a reciprocal) keeps the result
+    /// bitwise equal to `sum / n`.
+    divisor: f64,
+}
+
+impl CompiledForest {
+    /// Compiles a fitted forest. Fails on an unfitted (empty) forest.
+    ///
+    /// # Errors
+    /// [`TrainError`] when the forest has no trees or a tree is malformed.
+    pub fn from_forest(f: &RandomForest) -> Result<Self, TrainError> {
+        let trees = f.fitted_trees();
+        if trees.is_empty() {
+            return Err(TrainError::new("cannot compile an unfitted forest"));
+        }
+        let lists: Vec<Vec<NodeRepr>> = trees.iter().map(|t| t.export_nodes()).collect();
+        Self::from_node_lists(&lists, trees.len() as f64)
+    }
+
+    /// Compiles a fitted single tree (divisor 1 — `x / 1.0` is exact, so
+    /// results still match [`crate::engine::Regressor::predict_row`] bit for bit).
+    ///
+    /// # Errors
+    /// [`TrainError`] when the tree is unfitted or malformed.
+    pub fn from_tree(t: &DecisionTree) -> Result<Self, TrainError> {
+        Self::from_node_lists(&[t.export_nodes()], 1.0)
+    }
+
+    /// Compiles exported node lists (node 0 of each list is its root).
+    ///
+    /// # Errors
+    /// [`TrainError`] on empty input, an empty tree, a child index out of
+    /// range, or a node graph that is not a tree (shared or cyclic nodes
+    /// would make the fixed-trip traversal diverge from the pointer walk).
+    pub fn from_node_lists(lists: &[Vec<NodeRepr>], divisor: f64) -> Result<Self, TrainError> {
+        if lists.is_empty() {
+            return Err(TrainError::new("cannot compile zero trees"));
+        }
+        let total: usize = lists.iter().map(Vec::len).sum();
+        if total > u32::MAX as usize {
+            return Err(TrainError::new("arena exceeds u32 node indices"));
+        }
+        let mut arena = CompiledForest {
+            feature: Vec::with_capacity(total),
+            threshold: Vec::with_capacity(total),
+            left: Vec::with_capacity(total),
+            right: Vec::with_capacity(total),
+            leaf: Vec::with_capacity(total),
+            roots: Vec::with_capacity(lists.len()),
+            depths: Vec::with_capacity(lists.len()),
+            n_features: 0,
+            divisor,
+        };
+        for nodes in lists {
+            if nodes.is_empty() {
+                return Err(TrainError::new("cannot compile an empty tree"));
+            }
+            let base = arena.feature.len() as u32;
+            arena.roots.push(base);
+            for (i, n) in nodes.iter().enumerate() {
+                let me = base + i as u32;
+                match *n {
+                    NodeRepr::Leaf { value } => {
+                        arena.feature.push(0);
+                        arena.threshold.push(f64::NAN);
+                        arena.left.push(me);
+                        arena.right.push(me);
+                        arena.leaf.push(value);
+                    }
+                    NodeRepr::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        if left as usize >= nodes.len() || right as usize >= nodes.len() {
+                            return Err(TrainError::new("tree node child out of range"));
+                        }
+                        arena.n_features = arena.n_features.max(feature as usize + 1);
+                        arena.feature.push(feature);
+                        arena.threshold.push(threshold);
+                        arena.left.push(base + left);
+                        arena.right.push(base + right);
+                        arena.leaf.push(0.0);
+                    }
+                }
+            }
+            arena.depths.push(tree_depth(nodes)?);
+        }
+        Ok(arena)
+    }
+
+    /// Number of trees in the arena.
+    pub fn tree_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total nodes across all trees.
+    pub fn node_count(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Feature-vector width the arena expects (highest feature index + 1).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// FNV-1a 64 digest over every lane of the arena — two compilations
+    /// are interchangeable iff their digests match, which is how the
+    /// store round-trip (compile → export → reload → recompile) is pinned.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for &f in &self.feature {
+            h.u32(f);
+        }
+        for &t in &self.threshold {
+            h.u64(t.to_bits());
+        }
+        for &l in &self.left {
+            h.u32(l);
+        }
+        for &r in &self.right {
+            h.u32(r);
+        }
+        for &v in &self.leaf {
+            h.u64(v.to_bits());
+        }
+        for &r in &self.roots {
+            h.u32(r);
+        }
+        for &d in &self.depths {
+            h.u32(d);
+        }
+        h.u64(self.n_features as u64);
+        h.u64(self.divisor.to_bits());
+        h.0
+    }
+
+    /// Predicts every row of `x`, overwriting `out` (cleared first; the
+    /// caller's allocation is reused across rounds).
+    ///
+    /// Bitwise identical to mapping [`crate::engine::Regressor::predict_row`] of the
+    /// source model over the rows.
+    ///
+    /// # Panics
+    /// Panics when `x` has fewer columns than the arena's feature width.
+    pub fn predict_matrix_into(&self, x: &Matrix, out: &mut Vec<f64>) {
+        assert!(
+            x.ncols() >= self.n_features,
+            "matrix has {} columns, arena needs {}",
+            x.ncols(),
+            self.n_features
+        );
+        let n = x.nrows();
+        out.clear();
+        out.resize(n, 0.0);
+        let mut idx = [0u32; BLOCK];
+        for (b, chunk) in out.chunks_mut(BLOCK).enumerate() {
+            let r0 = b * BLOCK;
+            for (ti, &root) in self.roots.iter().enumerate() {
+                idx[..chunk.len()].fill(root);
+                for _ in 0..self.depths[ti] {
+                    let mut changed = 0u32;
+                    for (k, slot) in idx[..chunk.len()].iter_mut().enumerate() {
+                        let i = *slot as usize;
+                        let xv = x.row(r0 + k)[self.feature[i] as usize];
+                        // mask select: no data-dependent branch
+                        let m = 0u32.wrapping_sub((xv <= self.threshold[i]) as u32);
+                        let next = (self.left[i] & m) | (self.right[i] & !m);
+                        changed |= next ^ *slot;
+                        *slot = next;
+                    }
+                    if changed == 0 {
+                        break; // whole block settled on leaves
+                    }
+                }
+                for (k, acc) in chunk.iter_mut().enumerate() {
+                    *acc += self.leaf[idx[k] as usize];
+                }
+            }
+        }
+        for v in out.iter_mut() {
+            *v /= self.divisor;
+        }
+    }
+
+    /// Bakes a per-slot feature table into the arena, producing the fused
+    /// genome-slab kernel of the DSE. `layout.slot_of[f]` names the
+    /// genome slot whose gene selects feature `f`'s value, and
+    /// `layout.values[f][g]` is the value feature `f` takes for gene `g` —
+    /// exactly what a gathered feature matrix would contain, so fused
+    /// predictions stay bitwise identical to the matrix path.
+    ///
+    /// # Errors
+    /// [`TrainError`] when the layout does not cover the arena's feature
+    /// width or names a slot outside its own stride.
+    pub fn bake_gather(&self, layout: &GatherLayout) -> Result<GatherForest, TrainError> {
+        if layout.slot_of.len() < self.n_features || layout.values.len() != layout.slot_of.len() {
+            return Err(TrainError::new("gather layout narrower than the arena"));
+        }
+        let stride = layout.stride;
+        let mut slot_members = vec![u32::MAX; stride];
+        let mut offsets = Vec::with_capacity(layout.values.len());
+        let mut values = Vec::new();
+        for (f, table) in layout.values.iter().enumerate() {
+            let s = layout.slot_of[f] as usize;
+            if s >= stride {
+                return Err(TrainError::new("gather layout slot out of range"));
+            }
+            offsets.push(values.len() as u32);
+            values.extend_from_slice(table);
+            slot_members[s] = slot_members[s].min(table.len() as u32);
+        }
+        // `u32::MAX` marks a slot no feature reads — never indexed, so it
+        // does not block the mask encoding.
+        let mask_mode = slot_members.iter().all(|&m| m <= 64 || m == u32::MAX)
+            && self.feature.len() < (1 << 24)
+            && stride < (1 << 16);
+        let masks = if mask_mode {
+            (0..self.feature.len())
+                .map(|i| {
+                    let f = self.feature[i] as usize;
+                    let t = self.threshold[i];
+                    let mut mask = 0u64;
+                    for (g, &v) in layout.values[f].iter().enumerate().take(64) {
+                        mask |= ((v <= t) as u64) << g;
+                    }
+                    MaskNode {
+                        mask,
+                        meta: (self.left[i] as u64)
+                            | ((self.right[i] as u64) << 24)
+                            | ((layout.slot_of[f] as u64) << 48),
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(GatherForest {
+            nodes: (0..self.feature.len())
+                .map(|i| {
+                    let f = self.feature[i] as usize;
+                    PackedNode {
+                        threshold: self.threshold[i],
+                        slot_off: ((layout.slot_of[f] as u64) << 32) | offsets[f] as u64,
+                        children: ((self.right[i] as u64) << 32) | self.left[i] as u64,
+                    }
+                })
+                .collect(),
+            masks,
+            leaf: self.leaf.clone(),
+            roots: self.roots.clone(),
+            depths: self.depths.clone(),
+            values,
+            slot_members,
+            stride,
+            divisor: self.divisor,
+        })
+    }
+}
+
+/// Deepest leaf of an exported tree (node 0 is the root) — the fixed trip
+/// count of the branchless traversal.
+fn tree_depth(nodes: &[NodeRepr]) -> Result<u32, TrainError> {
+    let mut visited = vec![false; nodes.len()];
+    let mut stack = vec![(0u32, 0u32)];
+    let mut max = 0u32;
+    while let Some((at, d)) = stack.pop() {
+        let slot = &mut visited[at as usize];
+        if *slot {
+            return Err(TrainError::new("node graph is not a tree"));
+        }
+        *slot = true;
+        match nodes[at as usize] {
+            NodeRepr::Leaf { .. } => max = max.max(d),
+            NodeRepr::Split { left, right, .. } => {
+                stack.push((left, d + 1));
+                stack.push((right, d + 1));
+            }
+        }
+    }
+    Ok(max)
+}
+
+/// The feature-table layout [`CompiledForest::bake_gather`] consumes:
+/// how each feature column of the model maps onto (slot, per-gene value).
+#[derive(Debug, Clone)]
+pub struct GatherLayout {
+    /// Genome stride (slot count).
+    pub stride: usize,
+    /// `slot_of[f]` = genome slot whose gene selects feature `f`.
+    pub slot_of: Vec<u32>,
+    /// `values[f][g]` = value of feature `f` when the slot's gene is `g`.
+    pub values: Vec<Vec<f64>>,
+}
+
+/// One traversal node of a [`GatherForest`], packed to 24 bytes so a
+/// node visit touches one cache line instead of five SoA lanes (paths
+/// through a paper-sized arena are effectively random, so the lane
+/// spread dominates the miss rate).
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+struct PackedNode {
+    /// Split threshold (`NaN` for leaves, so `x <= t` never holds).
+    threshold: f64,
+    /// Genome slot in the high 32 bits, base offset of the node's value
+    /// table in the low 32.
+    slot_off: u64,
+    /// Left child in the low 32 bits, right child in the high 32 (self
+    /// for leaves).
+    children: u64,
+}
+
+/// One mask-mode traversal node: when every slot has ≤ 64 members (and
+/// the arena fits 24-bit node indices), the per-node comparison
+/// `table[gene] <= threshold` is precomputed for every gene into a
+/// bitmask at bake time, so a step needs neither the value load nor the
+/// float compare — just `(mask >> gene) & 1`. 16 bytes per node keeps
+/// four nodes per cache line; node-record traffic is what bounds the
+/// kernel on paper-sized arenas.
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+struct MaskNode {
+    /// Bit `g` = `table[g] <= threshold` (0 everywhere for leaves, since
+    /// `x <= NaN` never holds).
+    mask: u64,
+    /// Bits 0..24 left child, 24..48 right child (self for leaves),
+    /// 48..64 the genome slot read at this node.
+    meta: u64,
+}
+
+/// A [`CompiledForest`] with the estimator's per-slot feature tables
+/// baked into the node records: node `i` resolves its split value as
+/// `values[off(i) + genome[slot(i)]]`, fusing the feature gather into
+/// the traversal — no feature matrix exists at any point.
+#[derive(Debug, Clone)]
+pub struct GatherForest {
+    /// Packed traversal records, trees concatenated.
+    nodes: Vec<PackedNode>,
+    /// Mask-mode records (empty when some slot exceeds 64 members and
+    /// the precomputed-comparison encoding cannot hold it; the kernels
+    /// then run on `nodes`). Same node order as `nodes`, same bits out.
+    masks: Vec<MaskNode>,
+    /// Leaf value per node (0 for splits — read once per row and tree).
+    leaf: Vec<f64>,
+    roots: Vec<u32>,
+    depths: Vec<u32>,
+    /// Flat baked feature tables.
+    values: Vec<f64>,
+    /// Per slot: smallest table length over the features it backs — the
+    /// exclusive upper bound a gene must respect (checked per batch, so
+    /// the gather kernels can load unchecked).
+    slot_members: Vec<u32>,
+    stride: usize,
+    divisor: f64,
+}
+
+impl GatherForest {
+    /// Genome stride (slot count) the kernel expects.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Predicts one value per genome row of a flat `u16` slab,
+    /// overwriting `out` (cleared first; the allocation is reused across
+    /// rounds). Dispatches to the AVX2 kernel when the CPU supports it;
+    /// the scalar fallback produces identical bits.
+    ///
+    /// # Panics
+    /// Panics on a ragged slab or a gene outside its slot's baked table —
+    /// both indicate a genome from a different configuration space.
+    pub fn predict_genomes_into(&self, genes: &[u16], out: &mut Vec<f64>) {
+        self.check_genes(genes);
+        #[cfg(target_arch = "x86_64")]
+        if simd_enabled() && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 confirmed at runtime; gene bounds checked above.
+            unsafe {
+                if self.masks.is_empty() {
+                    self.predict_avx2(genes, out);
+                } else {
+                    self.predict_mask_avx2(genes, out);
+                }
+            }
+            return;
+        }
+        if self.masks.is_empty() {
+            self.predict_scalar(genes, out);
+        } else {
+            self.predict_mask_scalar(genes, out);
+        }
+    }
+
+    /// The portable mask-select kernel (also the test oracle for the SIMD
+    /// path). Same contract as [`GatherForest::predict_genomes_into`].
+    ///
+    /// # Panics
+    /// Panics on a ragged slab or an out-of-range gene.
+    pub fn predict_genomes_scalar_into(&self, genes: &[u16], out: &mut Vec<f64>) {
+        self.check_genes(genes);
+        self.predict_scalar(genes, out);
+    }
+
+    /// Validates the slab shape and that every gene indexes inside its
+    /// slot's baked table, so the kernels can gather unchecked.
+    fn check_genes(&self, genes: &[u16]) {
+        assert_eq!(genes.len() % self.stride, 0, "ragged genome slab");
+        if genes.is_empty() {
+            return;
+        }
+        for s in 0..self.stride {
+            let mut max = 0u16;
+            for &g in genes[s..].iter().step_by(self.stride) {
+                max = max.max(g);
+            }
+            assert!(
+                (max as u32) < self.slot_members[s],
+                "gene {max} out of range for slot {s} ({} members)",
+                self.slot_members[s]
+            );
+        }
+    }
+
+    fn predict_scalar(&self, genes: &[u16], out: &mut Vec<f64>) {
+        let n = genes.len() / self.stride;
+        out.clear();
+        out.resize(n, 0.0);
+        // Batch-major: the depth loop is OUTER, the rows inner. Every
+        // node step of the inner loop is independent across the block's
+        // rows, so the out-of-order window keeps ~BLOCK dependency
+        // chains in flight instead of serializing one row's walk — the
+        // same shape (and early exit) as `predict_matrix_into`.
+        let mut idx = [0u32; BLOCK];
+        for (b, chunk) in out.chunks_mut(BLOCK).enumerate() {
+            let rows = &genes[b * BLOCK * self.stride..];
+            let len = chunk.len();
+            for (ti, &root) in self.roots.iter().enumerate() {
+                idx[..len].fill(root);
+                for _ in 0..self.depths[ti] {
+                    let mut changed = 0u32;
+                    for (k, at) in idx[..len].iter_mut().enumerate() {
+                        let nd = &self.nodes[*at as usize];
+                        let g = rows[k * self.stride + (nd.slot_off >> 32) as usize] as u64;
+                        let xv = self.values[((nd.slot_off & 0xFFFF_FFFF) + g) as usize];
+                        // arithmetic select: left in the low half, right
+                        // in the high; `xv <= NaN` is false, so leaves
+                        // always step to themselves
+                        let b = (xv <= nd.threshold) as u64;
+                        let next = (nd.children >> (32 & b.wrapping_sub(1))) as u32;
+                        changed |= next ^ *at;
+                        *at = next;
+                    }
+                    if changed == 0 {
+                        break; // whole block settled on leaves
+                    }
+                }
+                for (k, acc) in chunk.iter_mut().enumerate() {
+                    *acc += self.leaf[idx[k] as usize];
+                }
+            }
+        }
+        for v in out.iter_mut() {
+            *v /= self.divisor;
+        }
+    }
+
+    /// The mask-mode portable kernel: a step is `(mask >> gene) & 1` plus
+    /// the arithmetic child select — no value load, no float compare.
+    /// Bitwise identical to [`GatherForest::predict_scalar`] because the
+    /// masks ARE the precomputed comparisons.
+    fn predict_mask_scalar(&self, genes: &[u16], out: &mut Vec<f64>) {
+        let n = genes.len() / self.stride;
+        out.clear();
+        out.resize(n, 0.0);
+        let mut idx = [0u32; BLOCK];
+        for (b, chunk) in out.chunks_mut(BLOCK).enumerate() {
+            let rows = &genes[b * BLOCK * self.stride..];
+            let len = chunk.len();
+            for (ti, &root) in self.roots.iter().enumerate() {
+                idx[..len].fill(root);
+                for _ in 0..self.depths[ti] {
+                    let mut changed = 0u32;
+                    for (k, at) in idx[..len].iter_mut().enumerate() {
+                        let nd = &self.masks[*at as usize];
+                        let g = rows[k * self.stride + (nd.meta >> 48) as usize];
+                        let b = (nd.mask >> g) & 1;
+                        let next = ((nd.meta >> (24 & b.wrapping_sub(1))) & 0xFF_FFFF) as u32;
+                        changed |= next ^ *at;
+                        *at = next;
+                    }
+                    if changed == 0 {
+                        break; // whole block settled on leaves
+                    }
+                }
+                for (k, acc) in chunk.iter_mut().enumerate() {
+                    *acc += self.leaf[idx[k] as usize];
+                }
+            }
+        }
+        for v in out.iter_mut() {
+            *v /= self.divisor;
+        }
+    }
+
+    /// Mask-mode AVX2 kernel: per step and 4-lane group, two record
+    /// gathers (`mask`/`meta`) plus the gene gather — the comparison is an
+    /// integer shift-and-test (`vpsrlvq`), so the float unit is idle and a
+    /// step touches 16 record bytes instead of the value-gather kernel's
+    /// 24 (plus its table load).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available, `genes` passed
+    /// [`GatherForest::check_genes`], and `masks` is non-empty.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn predict_mask_avx2(&self, genes: &[u16], out: &mut Vec<f64>) {
+        use std::arch::x86_64::*;
+        let n = genes.len() / self.stride;
+        out.clear();
+        out.resize(n, 0.0);
+        GENES32.with(|cell| {
+            let mut genes32 = cell.take();
+            for (b, chunk) in out.chunks_mut(BLOCK).enumerate() {
+                let rows = &genes[b * BLOCK * self.stride..];
+                genes32.clear();
+                genes32.extend(rows[..chunk.len() * self.stride].iter().map(|&g| g as u32));
+                let groups = chunk.len() / 4;
+                let stride = self.stride as i64;
+                let node_base = self.masks.as_ptr() as *const i64;
+                let one = _mm256_set1_epi64x(1);
+                let m24 = _mm256_set1_epi64x(0xFF_FFFF);
+                for (ti, &root) in self.roots.iter().enumerate() {
+                    let mut idx = [_mm256_set1_epi64x(root as i64); BLOCK / 4];
+                    for _ in 0..self.depths[ti] {
+                        let mut unsettled = 0i32;
+                        for (gi, cur) in idx[..groups].iter_mut().enumerate() {
+                            let base = (gi * 4) as i64 * stride;
+                            let row_base = _mm256_set_epi64x(
+                                base + 3 * stride,
+                                base + 2 * stride,
+                                base + stride,
+                                base,
+                            );
+                            // 16-byte records: field f of node i is the
+                            // 64-bit word at 2*i + f
+                            let n2 = _mm256_slli_epi64::<1>(*cur);
+                            let mask = _mm256_i64gather_epi64::<8>(node_base, n2);
+                            let meta = _mm256_i64gather_epi64::<8>(node_base.add(1), n2);
+                            let slot = _mm256_srli_epi64::<48>(meta);
+                            let gpos = _mm256_add_epi64(row_base, slot);
+                            let gene =
+                                _mm256_i64gather_epi32::<4>(genes32.as_ptr() as *const i32, gpos);
+                            let bit = _mm256_and_si256(
+                                _mm256_srlv_epi64(mask, _mm256_cvtepu32_epi64(gene)),
+                                one,
+                            );
+                            let go_left = _mm256_cmpeq_epi64(bit, one);
+                            let l = _mm256_and_si256(meta, m24);
+                            let r = _mm256_and_si256(_mm256_srli_epi64::<24>(meta), m24);
+                            let next = _mm256_castpd_si256(_mm256_blendv_pd(
+                                _mm256_castsi256_pd(r),
+                                _mm256_castsi256_pd(l),
+                                _mm256_castsi256_pd(go_left),
+                            ));
+                            let settled = _mm256_cmpeq_epi64(next, *cur);
+                            unsettled |= _mm256_movemask_epi8(settled) ^ -1;
+                            *cur = next;
+                        }
+                        if unsettled == 0 {
+                            break; // whole block settled on leaves
+                        }
+                    }
+                    for (gi, cur) in idx[..groups].iter().enumerate() {
+                        let leaves = _mm256_i64gather_pd::<8>(self.leaf.as_ptr(), *cur);
+                        let acc = _mm256_loadu_pd(chunk.as_ptr().add(gi * 4));
+                        _mm256_storeu_pd(
+                            chunk.as_mut_ptr().add(gi * 4),
+                            _mm256_add_pd(acc, leaves),
+                        );
+                    }
+                    // scalar tail: same ops, same bits
+                    for k in groups * 4..chunk.len() {
+                        let row = &rows[k * self.stride..(k + 1) * self.stride];
+                        let mut at = root;
+                        for _ in 0..self.depths[ti] {
+                            let nd = &self.masks[at as usize];
+                            let g = row[(nd.meta >> 48) as usize];
+                            let b = (nd.mask >> g) & 1;
+                            let next = ((nd.meta >> (24 & b.wrapping_sub(1))) & 0xFF_FFFF) as u32;
+                            if next == at {
+                                break;
+                            }
+                            at = next;
+                        }
+                        chunk[k] += self.leaf[at as usize];
+                    }
+                }
+            }
+            cell.replace(genes32);
+        });
+        for v in out.iter_mut() {
+            *v /= self.divisor;
+        }
+    }
+
+    /// Four rows per instruction stream: lane indices advance through
+    /// `vgatherqpd`/`vpgatherqd` loads, the compare is `vcmppd` and the
+    /// child select `vblendvpd` — the exact operations of the scalar
+    /// kernel, so every lane is bit-identical to it.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and `genes` passed
+    /// [`GatherForest::check_genes`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn predict_avx2(&self, genes: &[u16], out: &mut Vec<f64>) {
+        use std::arch::x86_64::*;
+        let n = genes.len() / self.stride;
+        out.clear();
+        out.resize(n, 0.0);
+        GENES32.with(|cell| {
+            let mut genes32 = cell.take();
+            for (b, chunk) in out.chunks_mut(BLOCK).enumerate() {
+                let rows = &genes[b * BLOCK * self.stride..];
+                // widen this block's genes once so lane loads are 32-bit
+                genes32.clear();
+                genes32.extend(rows[..chunk.len() * self.stride].iter().map(|&g| g as u32));
+                let groups = chunk.len() / 4;
+                let stride = self.stride as i64;
+                for (ti, &root) in self.roots.iter().enumerate() {
+                    // Batch-major like the scalar kernel: the depth loop
+                    // is outer and every step level walks ALL lane groups
+                    // of the block, so the per-step gather chains of the
+                    // groups are independent and overlap in flight
+                    // (gather latency is hidden by breadth, not lanes).
+                    let mut idx = [_mm256_set1_epi64x(root as i64); BLOCK / 4];
+                    let node_base = self.nodes.as_ptr() as *const f64;
+                    let lo32 = _mm256_set1_epi64x(0xFFFF_FFFF);
+                    for _ in 0..self.depths[ti] {
+                        let mut unsettled = 0i32;
+                        for (gi, cur) in idx[..groups].iter_mut().enumerate() {
+                            let base = (gi * 4) as i64 * stride;
+                            let row_base = _mm256_set_epi64x(
+                                base + 3 * stride,
+                                base + 2 * stride,
+                                base + stride,
+                                base,
+                            );
+                            // packed 24-byte records: field f of node i
+                            // lives at 64-bit offset 3*i + f
+                            let n3 = _mm256_add_epi64(_mm256_add_epi64(*cur, *cur), *cur);
+                            let t = _mm256_i64gather_pd::<8>(node_base, n3);
+                            let slot_off =
+                                _mm256_i64gather_epi64::<8>((node_base as *const i64).add(1), n3);
+                            let children =
+                                _mm256_i64gather_epi64::<8>((node_base as *const i64).add(2), n3);
+                            let gpos =
+                                _mm256_add_epi64(row_base, _mm256_srli_epi64::<32>(slot_off));
+                            let gene =
+                                _mm256_i64gather_epi32::<4>(genes32.as_ptr() as *const i32, gpos);
+                            let vidx = _mm256_add_epi64(
+                                _mm256_and_si256(slot_off, lo32),
+                                _mm256_cvtepu32_epi64(gene),
+                            );
+                            let x = _mm256_i64gather_pd::<8>(self.values.as_ptr(), vidx);
+                            let go_left = _mm256_cmp_pd::<_CMP_LE_OQ>(x, t);
+                            let l = _mm256_and_si256(children, lo32);
+                            let r = _mm256_srli_epi64::<32>(children);
+                            let next = _mm256_castpd_si256(_mm256_blendv_pd(
+                                _mm256_castsi256_pd(r),
+                                _mm256_castsi256_pd(l),
+                                go_left,
+                            ));
+                            let settled = _mm256_cmpeq_epi64(next, *cur);
+                            unsettled |= _mm256_movemask_epi8(settled) ^ -1;
+                            *cur = next;
+                        }
+                        if unsettled == 0 {
+                            break; // whole block settled on leaves
+                        }
+                    }
+                    for (gi, cur) in idx[..groups].iter().enumerate() {
+                        let leaves = _mm256_i64gather_pd::<8>(self.leaf.as_ptr(), *cur);
+                        let acc = _mm256_loadu_pd(chunk.as_ptr().add(gi * 4));
+                        _mm256_storeu_pd(
+                            chunk.as_mut_ptr().add(gi * 4),
+                            _mm256_add_pd(acc, leaves),
+                        );
+                    }
+                    // scalar tail: same ops, same bits
+                    for k in groups * 4..chunk.len() {
+                        let row = &rows[k * self.stride..(k + 1) * self.stride];
+                        let mut at = root;
+                        for _ in 0..self.depths[ti] {
+                            let nd = &self.nodes[at as usize];
+                            let g = row[(nd.slot_off >> 32) as usize] as u64;
+                            let xv = self.values[((nd.slot_off & 0xFFFF_FFFF) + g) as usize];
+                            let b = (xv <= nd.threshold) as u64;
+                            let next = (nd.children >> (32 & b.wrapping_sub(1))) as u32;
+                            if next == at {
+                                break;
+                            }
+                            at = next;
+                        }
+                        chunk[k] += self.leaf[at as usize];
+                    }
+                }
+            }
+            cell.replace(genes32);
+        });
+        for v in out.iter_mut() {
+            *v /= self.divisor;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+thread_local! {
+    /// Reusable widened-gene scratch for the AVX2 kernel (one block).
+    static GENES32: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Whether the SIMD gather kernel is allowed (`AUTOAX_FOREST_SIMD=0`
+/// forces the scalar kernel — a measurement/debug escape hatch; both
+/// kernels are bit-identical). Read once per process.
+#[cfg(target_arch = "x86_64")]
+fn simd_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("AUTOAX_FOREST_SIMD").map_or(true, |v| v.trim() != "0"))
+}
+
+/// FNV-1a 64 running hash.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x1_0000_0000_01B3);
+        }
+    }
+    fn u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x1_0000_0000_01B3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Regressor;
+    use crate::tree::TreeConfig;
+    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random stream for test data.
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (*state >> 33) as f64 / 2.0_f64.powi(31)
+    }
+
+    fn fit_forest(n_rows: usize, n_feats: usize, trees: usize, depth: usize) -> RandomForest {
+        let mut st = (n_rows * 31 + n_feats * 7 + trees) as u64 + 1;
+        let rows: Vec<Vec<f64>> = (0..n_rows)
+            .map(|_| (0..n_feats).map(|_| lcg(&mut st)).collect())
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| r.iter().enumerate().map(|(j, v)| v * (j + 1) as f64).sum())
+            .collect();
+        let mut f = RandomForest::new(42).with_trees(trees);
+        f.tree_config.max_depth = depth;
+        f.fit(&Matrix::from_rows(&rows), &y).unwrap();
+        f
+    }
+
+    #[test]
+    fn matrix_kernel_matches_pointer_walk_bitwise() {
+        let f = fit_forest(120, 4, 17, 9);
+        let cf = CompiledForest::from_forest(&f).unwrap();
+        let mut st = 5u64;
+        let rows: Vec<Vec<f64>> = (0..97)
+            .map(|_| (0..4).map(|_| lcg(&mut st)).collect())
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let mut out = Vec::new();
+        cf.predict_matrix_into(&x, &mut out);
+        assert_eq!(out.len(), 97);
+        for (row, got) in rows.iter().zip(&out) {
+            assert_eq!(got.to_bits(), f.predict_row(row).to_bits());
+        }
+    }
+
+    #[test]
+    fn single_tree_compiles_with_exact_division() {
+        let f = fit_forest(60, 3, 1, 30);
+        let tree = &f.fitted_trees()[0];
+        let cf = CompiledForest::from_tree(tree).unwrap();
+        let mut st = 9u64;
+        let rows: Vec<Vec<f64>> = (0..33)
+            .map(|_| (0..3).map(|_| lcg(&mut st)).collect())
+            .collect();
+        let mut out = Vec::new();
+        cf.predict_matrix_into(&Matrix::from_rows(&rows), &mut out);
+        for (row, got) in rows.iter().zip(&out) {
+            assert_eq!(got.to_bits(), tree.predict_row(row).to_bits());
+        }
+    }
+
+    #[test]
+    fn unfitted_models_do_not_compile() {
+        assert!(CompiledForest::from_forest(&RandomForest::new(0)).is_err());
+        assert!(CompiledForest::from_tree(&DecisionTree::new(TreeConfig::default())).is_err());
+        assert!(CompiledForest::from_node_lists(&[], 1.0).is_err());
+        assert!(CompiledForest::from_node_lists(&[vec![]], 1.0).is_err());
+    }
+
+    #[test]
+    fn malformed_children_are_rejected() {
+        let bad = vec![NodeRepr::Split {
+            feature: 0,
+            threshold: 0.5,
+            left: 7,
+            right: 1,
+        }];
+        assert!(CompiledForest::from_node_lists(&[bad], 1.0).is_err());
+        // a cycle (node 1 points back at the root) is not a tree
+        let cyclic = vec![
+            NodeRepr::Split {
+                feature: 0,
+                threshold: 0.5,
+                left: 1,
+                right: 1,
+            },
+            NodeRepr::Split {
+                feature: 0,
+                threshold: 0.2,
+                left: 0,
+                right: 0,
+            },
+        ];
+        assert!(CompiledForest::from_node_lists(&[cyclic], 1.0).is_err());
+    }
+
+    #[test]
+    fn digest_distinguishes_and_round_trips() {
+        let f = fit_forest(80, 3, 5, 6);
+        let a = CompiledForest::from_forest(&f).unwrap();
+        let b = CompiledForest::from_forest(&f).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        let g = fit_forest(80, 3, 5, 5);
+        assert_ne!(
+            a.digest(),
+            CompiledForest::from_forest(&g).unwrap().digest()
+        );
+    }
+
+    /// A random gather layout: `members` choices per slot, one feature
+    /// per (slot, lane) pair like the estimator's hw table.
+    fn random_layout(stride: usize, lanes: usize, members: usize, st: &mut u64) -> GatherLayout {
+        let n_feats = stride * lanes;
+        GatherLayout {
+            stride,
+            slot_of: (0..n_feats).map(|f| (f / lanes) as u32).collect(),
+            values: (0..n_feats)
+                .map(|_| (0..members).map(|_| lcg(st)).collect())
+                .collect(),
+        }
+    }
+
+    /// Materializes the feature matrix a layout + genome slab implies —
+    /// the oracle the fused kernel must match bitwise.
+    fn materialize(layout: &GatherLayout, genes: &[u16]) -> Matrix {
+        let rows: Vec<Vec<f64>> = genes
+            .chunks_exact(layout.stride)
+            .map(|row| {
+                (0..layout.values.len())
+                    .map(|f| layout.values[f][row[layout.slot_of[f] as usize] as usize])
+                    .collect()
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn fused_kernel_matches_matrix_path_bitwise() {
+        let mut st = 77u64;
+        let stride = 5;
+        let lanes = 3;
+        let members = 6;
+        let layout = random_layout(stride, lanes, members, &mut st);
+        // fit on materialized features so the tree actually uses them
+        let train_genes: Vec<u16> = (0..200 * stride)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let xt = materialize(&layout, &train_genes);
+        let y: Vec<f64> = xt.rows_iter().map(|r| r.iter().sum()).collect();
+        let mut f = RandomForest::new(3).with_trees(12);
+        f.fit(&xt, &y).unwrap();
+        let gf = CompiledForest::from_forest(&f)
+            .unwrap()
+            .bake_gather(&layout)
+            .unwrap();
+        let genes: Vec<u16> = (0..131 * stride)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let x = materialize(&layout, &genes);
+        let mut fused = Vec::new();
+        gf.predict_genomes_into(&genes, &mut fused);
+        let mut scalar = Vec::new();
+        gf.predict_genomes_scalar_into(&genes, &mut scalar);
+        assert_eq!(fused.len(), 131);
+        for (i, row) in x.rows_iter().enumerate() {
+            let want = f.predict_row(row).to_bits();
+            assert_eq!(fused[i].to_bits(), want, "fused row {i}");
+            assert_eq!(scalar[i].to_bits(), want, "scalar row {i}");
+        }
+    }
+
+    #[test]
+    fn wide_slots_fall_back_to_the_gather_kernel_bitwise() {
+        // one slot with > 64 members: the mask encoding cannot hold it,
+        // so the value-gather kernels must carry the prediction (and
+        // still match the pointer walk exactly)
+        let mut st = 13u64;
+        let members = 70;
+        let layout = random_layout(3, 2, members, &mut st);
+        let train: Vec<u16> = (0..120 * 3)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let xt = materialize(&layout, &train);
+        let y: Vec<f64> = xt.rows_iter().map(|r| r.iter().sum()).collect();
+        let mut f = RandomForest::new(11).with_trees(9);
+        f.fit(&xt, &y).unwrap();
+        let gf = CompiledForest::from_forest(&f)
+            .unwrap()
+            .bake_gather(&layout)
+            .unwrap();
+        assert!(gf.masks.is_empty(), "70-member slots must disable masks");
+        let genes: Vec<u16> = (0..77 * 3)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let x = materialize(&layout, &genes);
+        let mut fused = Vec::new();
+        gf.predict_genomes_into(&genes, &mut fused);
+        for (i, row) in x.rows_iter().enumerate() {
+            assert_eq!(fused[i].to_bits(), f.predict_row(row).to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for slot")]
+    fn out_of_range_gene_panics() {
+        let mut st = 1u64;
+        let layout = random_layout(2, 1, 3, &mut st);
+        let xt = Matrix::from_rows(&[vec![0.1, 0.2], vec![0.8, 0.9], vec![0.4, 0.6]]);
+        let mut f = RandomForest::new(0).with_trees(2);
+        f.fit(&xt, &[1.0, 2.0, 3.0]).unwrap();
+        let gf = CompiledForest::from_forest(&f)
+            .unwrap()
+            .bake_gather(&layout)
+            .unwrap();
+        gf.predict_genomes_into(&[0, 3], &mut Vec::new());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The compiled kernels are bitwise identical to the pointer walk
+        /// across random tree depths, widths, batch sizes and both the
+        /// matrix and the fused gather path (SIMD and scalar).
+        #[test]
+        fn compiled_paths_match_pointer_walk(
+            seed in 0u64..1000,
+            trees in 1usize..14,
+            depth in 1usize..12,
+            stride in 1usize..6,
+            members in 2usize..7,
+            batch in 1usize..150,
+        ) {
+            let mut st = seed.wrapping_mul(2654435761).wrapping_add(1);
+            let layout = random_layout(stride, 2, members, &mut st);
+            let train: Vec<u16> = (0..90 * stride)
+                .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+                .collect();
+            let xt = materialize(&layout, &train);
+            let y: Vec<f64> = xt
+                .rows_iter()
+                .map(|r| r.iter().enumerate().map(|(j, v)| v * ((j % 3) as f64 + 1.0)).sum())
+                .collect();
+            let mut f = RandomForest::new(seed).with_trees(trees);
+            f.tree_config.max_depth = depth;
+            f.fit(&xt, &y).unwrap();
+            let cf = CompiledForest::from_forest(&f).unwrap();
+            let gf = cf.bake_gather(&layout).unwrap();
+            let genes: Vec<u16> = (0..batch * stride)
+                .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+                .collect();
+            let x = materialize(&layout, &genes);
+            let mut m_out = Vec::new();
+            cf.predict_matrix_into(&x, &mut m_out);
+            let mut fused = Vec::new();
+            gf.predict_genomes_into(&genes, &mut fused);
+            let mut scalar = Vec::new();
+            gf.predict_genomes_scalar_into(&genes, &mut scalar);
+            for (i, row) in x.rows_iter().enumerate() {
+                let want = f.predict_row(row).to_bits();
+                prop_assert_eq!(m_out[i].to_bits(), want);
+                prop_assert_eq!(fused[i].to_bits(), want);
+                prop_assert_eq!(scalar[i].to_bits(), want);
+            }
+        }
+    }
+}

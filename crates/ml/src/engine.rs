@@ -54,6 +54,18 @@ pub trait Regressor: Send + Sync {
         autoax_exec::par_map(&rows, |r| self.predict_row(r))
     }
 
+    /// Predicts targets for every row of `x` into a caller-owned vector
+    /// (cleared first), so hot loops reuse the output allocation across
+    /// rounds the way they already reuse their feature scratch.
+    ///
+    /// The default delegates to [`Regressor::predict`]; engines with an
+    /// allocation-free batch path override this to write `out` directly.
+    /// Results are bitwise identical to [`Regressor::predict`].
+    fn predict_into(&self, x: &Matrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.append(&mut self.predict(x));
+    }
+
     /// Concrete-type view for serialization (`autoax-store` downcasts
     /// through this to encode fitted models). Engines that do not support
     /// persistence keep the default `None`, which the store reports as

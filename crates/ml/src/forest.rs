@@ -95,34 +95,49 @@ impl Regressor for RandomForest {
     }
 
     /// Batched prediction tuned for the estimation hot path: rows are
-    /// processed in fixed blocks (parallelized through the execution
-    /// layer) and trees walk each block in the outer loop, so one tree's
-    /// nodes stay cache-hot across the whole block. The per-row additions
-    /// happen in tree order, exactly as in [`RandomForest::predict_row`],
-    /// so results are bitwise identical at any thread count.
+    /// processed in fixed blocks (scheduled through
+    /// [`autoax_exec::par_map_range`]) and trees walk each block in the
+    /// outer loop, so one tree's nodes stay cache-hot across the whole
+    /// block. The per-row additions happen in tree order, exactly as in
+    /// [`RandomForest::predict_row`], so results are bitwise identical at
+    /// any thread count.
+    ///
+    /// The matrix is indexed directly and each block accumulates into a
+    /// stack array — no per-call row/block index vectors, no per-block
+    /// heap scratch.
     fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let mut out = Vec::with_capacity(x.nrows());
+        self.predict_into(x, &mut out);
+        out
+    }
+
+    /// [`RandomForest::predict`] into a reused output vector.
+    fn predict_into(&self, x: &Matrix, out: &mut Vec<f64>) {
+        out.clear();
         if self.trees.is_empty() {
-            return vec![0.0; x.nrows()];
+            out.resize(x.nrows(), 0.0);
+            return;
         }
         // Fixed block size: keeps results independent of the worker count
         // and matches the search layer's estimation round granularity.
         const BLOCK: usize = 32;
-        let rows: Vec<&[f64]> = x.rows_iter().collect();
-        let blocks: Vec<&[&[f64]]> = rows.chunks(BLOCK).collect();
         let n_trees = self.trees.len() as f64;
-        let parts = autoax_exec::par_map(&blocks, |block| {
-            let mut acc = vec![0.0f64; block.len()];
+        let parts = autoax_exec::par_map_range(x.nrows(), BLOCK, |range| {
+            let mut acc = [0.0f64; BLOCK];
+            let len = range.len();
             for tree in &self.trees {
-                for (a, row) in acc.iter_mut().zip(block.iter()) {
-                    *a += tree.predict_row(row);
+                for (a, r) in acc[..len].iter_mut().zip(range.clone()) {
+                    *a += tree.predict_row(x.row(r));
                 }
             }
-            for a in &mut acc {
+            for a in &mut acc[..len] {
                 *a /= n_trees;
             }
-            acc
+            (acc, len)
         });
-        parts.into_iter().flatten().collect()
+        for (acc, len) in parts {
+            out.extend_from_slice(&acc[..len]);
+        }
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -198,6 +213,21 @@ mod tests {
                 "row {i} diverged"
             );
         }
+    }
+
+    #[test]
+    fn predict_into_reuses_the_output_allocation() {
+        let (x, y) = nonlinear_data(90);
+        let mut f = RandomForest::new(2).with_trees(10);
+        f.fit(&x, &y).unwrap();
+        let mut out = vec![99.0; 7]; // stale content must be cleared
+        f.predict_into(&x, &mut out);
+        assert_eq!(out, f.predict(&x));
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        f.predict_into(&x, &mut out);
+        assert_eq!(out.capacity(), cap, "refill must not reallocate");
+        assert_eq!(out.as_ptr(), ptr);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod adaboost;
+pub mod compiled;
 pub mod dataset;
 pub mod engine;
 pub mod fidelity;
@@ -51,6 +52,7 @@ pub mod mlp;
 pub mod pls;
 pub mod tree;
 
+pub use compiled::{CompiledForest, GatherForest, GatherLayout};
 pub use engine::{EngineKind, Regressor, TrainError};
 pub use fidelity::fidelity;
 pub use linalg::Matrix;

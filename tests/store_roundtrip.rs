@@ -175,6 +175,48 @@ proptest! {
         }
     }
 
+    /// The compiled-forest arena survives the full persistence cycle:
+    /// compiling a fitted forest/tree, exporting its `NodeRepr` lists
+    /// through the store codec, reloading and recompiling yields a
+    /// lane-for-lane identical arena (pinned by the arena digest), for
+    /// arbitrary seeds.
+    #[test]
+    fn compiled_arena_survives_store_round_trip(seed in any::<u64>()) {
+        let rows: Vec<Vec<f64>> = (0..70)
+            .map(|i| vec![((i * 11) % 19) as f64 / 18.0, ((i * 5) % 13) as f64 / 12.0])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 3.0 - r[1] * r[1]).collect();
+        let x = Matrix::from_rows(&rows);
+        for kind in [EngineKind::RandomForest, EngineKind::DecisionTree] {
+            let mut m = kind.make(seed);
+            m.fit(&x, &y).unwrap();
+            let compile = |r: &dyn autoax_ml::Regressor| {
+                let any = r.as_any().expect("tree models expose as_any");
+                if let Some(f) = any.downcast_ref::<autoax_ml::forest::RandomForest>() {
+                    autoax_ml::CompiledForest::from_forest(f).unwrap()
+                } else {
+                    let t = any.downcast_ref::<autoax_ml::tree::DecisionTree>().unwrap();
+                    autoax_ml::CompiledForest::from_tree(t).unwrap()
+                }
+            };
+            let before = compile(m.as_ref());
+            let mut e = Encoder::new();
+            ml_codec::put_regressor(&mut e, m.as_ref()).unwrap();
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            let rt = ml_codec::take_regressor(&mut d).unwrap();
+            d.finish().unwrap();
+            let after = compile(rt.as_ref());
+            prop_assert_eq!(
+                before.digest(),
+                after.digest(),
+                "{} arena diverged after store round-trip", kind
+            );
+            prop_assert_eq!(before.node_count(), after.node_count());
+            prop_assert_eq!(before.tree_count(), after.tree_count());
+        }
+    }
+
     /// Raw netlist behaviours (the mutant family) survive the netlist
     /// codec with identical structure and function.
     #[test]
