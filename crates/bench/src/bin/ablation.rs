@@ -29,7 +29,7 @@ use autoax_ml::linalg::Matrix;
 fn fit_and_test(x_train: &Matrix, y_train: &[f64], x_test: &Matrix, y_test: &[f64]) -> f64 {
     let mut model = EngineKind::RandomForest.make(42);
     model.fit(x_train, y_train).expect("fit");
-    fidelity(&model.predict(x_test), y_test)
+    fidelity(&model.predict(x_test), y_test).expect("fidelity")
 }
 
 fn main() {

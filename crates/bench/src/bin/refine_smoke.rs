@@ -1,0 +1,77 @@
+//! CI's refine-smoke companion: the quickstart configuration with the
+//! active-learning refinement loop on, under both warm-starting
+//! strategies (`hill`, `nsga2`). Asserts in-process that the loop never
+//! *hurts* the surrogates — fidelity-after ≥ fidelity-before for the
+//! QoR and hardware models — and that the final front is non-empty,
+//! then records the before/after pair per strategy in
+//! `bench_out/BENCH_pipeline.json` (section `refine_smoke`).
+//!
+//! ```sh
+//! cargo run --release -p autoax-bench --bin refine_smoke
+//! ```
+
+use autoax::pipeline::{run_pipeline, PipelineOptions};
+use autoax::search::SearchAlgo;
+use autoax::RefinementSchedule;
+use autoax_accel::sobel::SobelEd;
+use autoax_bench::{write_bench_section, Json};
+use autoax_circuit::charlib::{build_library, LibraryConfig};
+use autoax_image::synthetic::benchmark_suite;
+
+fn main() {
+    let accel = SobelEd::new();
+    let lib = build_library(&LibraryConfig::tiny());
+    let images = benchmark_suite(4, 96, 64, 7);
+
+    let mut sections: Vec<(String, Json)> = Vec::new();
+    for algo in [SearchAlgo::Hill, SearchAlgo::Nsga2] {
+        let mut opts = PipelineOptions::quick().with_strategy(algo);
+        opts.search.refine = RefinementSchedule::quick();
+        let res = run_pipeline(&accel, &lib, &images, &opts).expect("pipeline");
+        let r = res.refinement.expect("refined run must carry a report");
+        println!(
+            "[{algo}] fidelity qor {:.4} -> {:.4}, hw {:.4} -> {:.4} \
+             ({} real evals, {} epochs), final front {}",
+            r.before.qor_test,
+            r.after.qor_test,
+            r.before.hw_test,
+            r.after.hw_test,
+            r.real_evals,
+            r.epochs_run,
+            res.final_front.len()
+        );
+        assert!(
+            !res.final_front.is_empty(),
+            "{algo}: refined run produced an empty final front"
+        );
+        assert!(
+            r.after.qor_test >= r.before.qor_test,
+            "{algo}: QoR fidelity dropped {} -> {}",
+            r.before.qor_test,
+            r.after.qor_test
+        );
+        assert!(
+            r.after.hw_test >= r.before.hw_test,
+            "{algo}: hardware fidelity dropped {} -> {}",
+            r.before.hw_test,
+            r.after.hw_test
+        );
+        sections.push((
+            algo.name().to_string(),
+            Json::Obj(vec![
+                ("fid_qor_before".into(), Json::Num(r.before.qor_test)),
+                ("fid_qor_after".into(), Json::Num(r.after.qor_test)),
+                ("fid_hw_before".into(), Json::Num(r.before.hw_test)),
+                ("fid_hw_after".into(), Json::Num(r.after.hw_test)),
+                ("real_evals".into(), Json::int(r.real_evals as u64)),
+                ("epochs_run".into(), Json::int(r.epochs_run as u64)),
+                (
+                    "final_front".into(),
+                    Json::int(res.final_front.len() as u64),
+                ),
+            ]),
+        ));
+    }
+    write_bench_section("refine_smoke", &Json::Obj(sections));
+    println!("refine smoke: fidelity never dropped under hill or nsga2");
+}

@@ -51,7 +51,7 @@ fn main() {
                 continue;
             }
         };
-        let rep = fidelity_report(&models, &pre.space, &lib, &train, &test);
+        let rep = fidelity_report(&models, &pre.space, &lib, &train, &test).expect("fidelity");
         println!(
             "{:<28} {:>8.0}% {:>8.0}% {:>8.0}% {:>8.0}%   ({:.1?})",
             kind.name(),
@@ -72,7 +72,7 @@ fn main() {
     }
     // naive models
     let naive = naive_models(&pre.space);
-    let nrep = fidelity_report(&naive, &pre.space, &lib, &train, &test);
+    let nrep = fidelity_report(&naive, &pre.space, &lib, &train, &test).expect("fidelity");
     println!(
         "{:<28} {:>9} {:>8.0}% {:>9} {:>8.0}%",
         "Naive model",

@@ -1,12 +1,15 @@
 //! Crate error type.
 
-use autoax_ml::TrainError;
+use autoax_ml::{FidelityError, TrainError};
 
 /// Error raised by the autoAx pipeline.
 #[derive(Debug, Clone)]
 pub enum AutoAxError {
     /// A model could not be trained.
     Train(TrainError),
+    /// Fidelity could not be measured: the estimated and real value
+    /// slices had different lengths ([`autoax_ml::FidelityError`]).
+    Fidelity(FidelityError),
     /// The inputs to a pipeline stage were inconsistent.
     Invalid(String),
     /// Step-1 profiling recorded no operands for a slot: the workload's
@@ -38,6 +41,7 @@ impl std::fmt::Display for AutoAxError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AutoAxError::Train(e) => write!(f, "{e}"),
+            AutoAxError::Fidelity(e) => write!(f, "{e}"),
             AutoAxError::Invalid(m) => write!(f, "invalid pipeline input: {m}"),
             AutoAxError::EmptyProfile { slot } => write!(
                 f,
@@ -63,6 +67,7 @@ impl std::error::Error for AutoAxError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AutoAxError::Train(e) => Some(e),
+            AutoAxError::Fidelity(e) => Some(e),
             AutoAxError::Invalid(_)
             | AutoAxError::EmptyProfile { .. }
             | AutoAxError::SamplingExhausted { .. }
@@ -74,6 +79,12 @@ impl std::error::Error for AutoAxError {
 impl From<TrainError> for AutoAxError {
     fn from(e: TrainError) -> Self {
         AutoAxError::Train(e)
+    }
+}
+
+impl From<FidelityError> for AutoAxError {
+    fn from(e: FidelityError) -> Self {
+        AutoAxError::Fidelity(e)
     }
 }
 
@@ -112,5 +123,20 @@ mod tests {
     #[test]
     fn cancelled_formats() {
         assert!(AutoAxError::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn fidelity_mismatch_converts_and_formats() {
+        let e: AutoAxError = FidelityError {
+            estimated: 3,
+            real: 5,
+        }
+        .into();
+        let msg = e.to_string();
+        assert!(msg.contains("3 estimated vs 5 real"), "{msg}");
+        assert!(
+            std::error::Error::source(&e).is_some(),
+            "inner error must be the source"
+        );
     }
 }

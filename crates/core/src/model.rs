@@ -319,6 +319,55 @@ impl<'a> ModelEstimator<'a> {
     pub fn fused(&self) -> (bool, bool) {
         (self.qor_fused.is_some(), self.hw_fused.is_some())
     }
+
+    /// Per-tree prediction variance of the QoR and hardware models over a
+    /// genome slab — the refinement loop's epistemic-uncertainty signal.
+    /// Runs the compiled arena's stats kernel when the model is fused;
+    /// otherwise falls back to brute force over a downcast forest's
+    /// trees (bitwise identical), and fills zeros for engines without an
+    /// ensemble (a single tree has no spread either way).
+    ///
+    /// `qvar` and `hvar` are cleared and resized to the row count.
+    pub fn variance_slice(
+        &self,
+        rows: crate::search::ConfigSlice<'_>,
+        qvar: &mut Vec<f64>,
+        hvar: &mut Vec<f64>,
+    ) {
+        let n = rows.len();
+        let mut mean = Vec::new();
+        let brute = |model: &dyn Regressor, which_qor: bool, out: &mut Vec<f64>| {
+            out.clear();
+            let forest = model
+                .as_any()
+                .and_then(|a| a.downcast_ref::<autoax_ml::forest::RandomForest>());
+            match forest {
+                Some(f) => {
+                    let mut feats = Vec::new();
+                    for genome in rows.rows() {
+                        feats.clear();
+                        for (slot, &g) in genome.iter().enumerate() {
+                            if which_qor {
+                                feats.push(self.qor_table[slot][g as usize]);
+                            } else {
+                                feats.extend_from_slice(&self.hw_table[slot][g as usize]);
+                            }
+                        }
+                        out.push(f.predict_variance_row(&feats));
+                    }
+                }
+                None => out.resize(n, 0.0),
+            }
+        };
+        match &self.qor_fused {
+            Some(g) => g.predict_genomes_stats_into(rows.genes(), &mut mean, qvar),
+            None => brute(self.models.qor.as_ref(), true, qvar),
+        }
+        match &self.hw_fused {
+            Some(g) => g.predict_genomes_stats_into(rows.genes(), &mut mean, hvar),
+            None => brute(self.models.hw.as_ref(), false, hvar),
+        }
+    }
 }
 
 /// Compiles a regressor into a [`autoax_ml::CompiledForest`] when its
@@ -462,14 +511,18 @@ pub fn naive_models(space: &ConfigSpace) -> FittedModels {
 }
 
 /// Measures the fidelity of fitted models on train and test sets.
+///
+/// # Errors
+/// Propagates [`AutoAxError::Fidelity`] when a set's prediction and
+/// target vectors disagree in length (a malformed [`EvaluatedSet`]).
 pub fn fidelity_report(
     models: &FittedModels,
     space: &ConfigSpace,
     lib: &ComponentLibrary,
     train: &EvaluatedSet,
     test: &EvaluatedSet,
-) -> FidelityReport {
-    let f = |set: &EvaluatedSet, which_qor: bool| {
+) -> Result<FidelityReport, AutoAxError> {
+    let f = |set: &EvaluatedSet, which_qor: bool| -> Result<f64, AutoAxError> {
         let preds: Vec<f64> = set
             .configs
             .iter()
@@ -486,14 +539,14 @@ pub fn fidelity_report(
         } else {
             set.area_targets()
         };
-        autoax_ml::fidelity(&preds, &real)
+        Ok(autoax_ml::fidelity(&preds, &real)?)
     };
-    FidelityReport {
-        qor_train: f(train, true),
-        qor_test: f(test, true),
-        hw_train: f(train, false),
-        hw_test: f(test, false),
-    }
+    Ok(FidelityReport {
+        qor_train: f(train, true)?,
+        qor_test: f(test, true)?,
+        hw_train: f(train, false)?,
+        hw_test: f(test, false)?,
+    })
 }
 
 #[cfg(test)]
@@ -539,9 +592,9 @@ mod tests {
         let train = EvaluatedSet::generate(&ev, &s.pre.space, 60, 1);
         let test = EvaluatedSet::generate(&ev, &s.pre.space, 40, 2);
         let rf = fit_models(EngineKind::RandomForest, &s.pre.space, &s.lib, &train, 7).unwrap();
-        let rf_rep = fidelity_report(&rf, &s.pre.space, &s.lib, &train, &test);
+        let rf_rep = fidelity_report(&rf, &s.pre.space, &s.lib, &train, &test).unwrap();
         let naive = naive_models(&s.pre.space);
-        let nv_rep = fidelity_report(&naive, &s.pre.space, &s.lib, &train, &test);
+        let nv_rep = fidelity_report(&naive, &s.pre.space, &s.lib, &train, &test).unwrap();
         assert!(rf_rep.qor_test > 0.7, "rf qor fidelity {:?}", rf_rep);
         assert!(rf_rep.hw_test > 0.7, "rf hw fidelity {:?}", rf_rep);
         // Table 3 shape: learned hardware model beats the naive

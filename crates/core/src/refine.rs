@@ -1,0 +1,590 @@
+//! Step 2/3 closure: active-learning surrogate refinement.
+//!
+//! The paper trains its estimation models once (Step 2) and then searches
+//! on the frozen surrogates (Step 3). This module interleaves the two:
+//! the eval budget is split into *segments*, and between segments the
+//! loop real-evaluates the K most *informative* candidates near the
+//! current front, folds them into the training set, and refits the
+//! models before the next segment continues the search warm-started from
+//! the front found so far.
+//!
+//! "Informative" combines two signals, both computed columnar off the
+//! already-compiled forest arena:
+//!
+//! * **epistemic uncertainty** — the per-tree prediction variance of the
+//!   QoR and hardware forests ([`crate::model::ModelEstimator::variance_slice`]);
+//!   where the trees disagree, a real label buys the most model update;
+//! * **novelty** — crowding distance of the candidate's *estimated*
+//!   trade-off point over the candidate pool, so the picks spread along
+//!   the front instead of piling onto one uncertain ridge.
+//!
+//! Determinism is a hard contract, matching the search layer: the whole
+//! loop is a pure function of the semantic knobs (seed, budget, schedule)
+//! — `threads` and `batch_size` never change a bit of the result. The
+//! acquisition therefore sorts its candidate pool lexicographically by
+//! genome before scoring (input order invariance) and breaks score ties
+//! by genome (no dependence on float sort stability).
+
+use crate::config::{ConfigSpace, Configuration};
+use crate::error::AutoAxError;
+use crate::evaluate::Evaluator;
+use crate::job::CancelToken;
+use crate::model::ModelEstimator;
+use crate::model::{fidelity_report, fit_models, EvaluatedSet, FidelityReport, FittedModels};
+use crate::pareto::ParetoFront;
+use crate::search::{ConfigBatch, Estimator, SearchOptions};
+use autoax_circuit::charlib::ComponentLibrary;
+use autoax_ml::engine::EngineKind;
+use std::collections::{BTreeSet, HashSet};
+
+/// When and how hard the refinement loop runs. Part of
+/// [`SearchOptions`]; [`RefinementSchedule::off`] (the default) keeps
+/// the paper's plain single-shot Step 3.
+///
+/// Every field is a *semantic* knob: changing any of them changes the
+/// result (deterministically). Throughput knobs stay in
+/// [`SearchOptions`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinementSchedule {
+    /// Refinement rounds. The search budget is split into `epochs + 1`
+    /// segments with a real-eval + refit step between consecutive
+    /// segments. `0` disables the loop entirely.
+    pub epochs: usize,
+    /// Candidates real-evaluated per epoch (the acquisition's K).
+    /// `0` disables the loop entirely.
+    pub per_epoch: usize,
+    /// Weight of the crowding-novelty term against the two normalized
+    /// variance terms in the acquisition score.
+    pub novelty_weight: f64,
+    /// Forest trees re-fit per refinement round
+    /// ([`autoax_ml::forest::RandomForest::refit_trees`], rotating
+    /// slots). When the engine has no forest to patch (or this is `0`),
+    /// the loop falls back to a full [`fit_models`] refit.
+    pub replace_trees: usize,
+}
+
+impl RefinementSchedule {
+    /// No refinement: the plain single-shot search, bit-identical to a
+    /// build without this module.
+    pub const fn off() -> Self {
+        RefinementSchedule {
+            epochs: 0,
+            per_epoch: 0,
+            novelty_weight: 0.0,
+            replace_trees: 0,
+        }
+    }
+
+    /// A small schedule tuned for the quick pipeline configuration: two
+    /// refinement rounds of 16 real evals each, patching a quarter of
+    /// the default 100-tree forest per round.
+    pub const fn quick() -> Self {
+        RefinementSchedule {
+            epochs: 2,
+            per_epoch: 16,
+            novelty_weight: 0.5,
+            replace_trees: 25,
+        }
+    }
+
+    /// Whether this schedule disables the loop ([`RefinementSchedule::off`]
+    /// or any degenerate schedule with zero rounds or zero picks).
+    pub fn is_off(&self) -> bool {
+        self.epochs == 0 || self.per_epoch == 0
+    }
+}
+
+impl Default for RefinementSchedule {
+    fn default() -> Self {
+        RefinementSchedule::off()
+    }
+}
+
+/// What one refined search did to the models, reported next to the
+/// front: the fidelity movement and the extra real-eval cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinementReport {
+    /// Model fidelities before the first refinement round.
+    pub before: FidelityReport,
+    /// Model fidelities after the last refit.
+    pub after: FidelityReport,
+    /// Real evaluations spent by the loop (excluding the initial
+    /// training set).
+    pub real_evals: usize,
+    /// Refinement rounds actually run (differs from the schedule when
+    /// the acquisition ran out of unevaluated candidates or the job was
+    /// cancelled).
+    pub epochs_run: usize,
+}
+
+/// Crowding distance of 2-D points (larger = more isolated), the NSGA-II
+/// novelty measure restricted to one pool. `n <= 2` → all infinite.
+fn crowding(points: &[(f64, f64)]) -> Vec<f64> {
+    let n = points.len();
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let mut crowd = vec![0.0f64; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    for obj in 0..2 {
+        let key = |i: usize| {
+            if obj == 0 {
+                points[i].0
+            } else {
+                points[i].1
+            }
+        };
+        order.sort_by(|&a, &b| key(a).total_cmp(&key(b)));
+        let span = (key(order[n - 1]) - key(order[0])).max(1e-300);
+        crowd[order[0]] = f64::INFINITY;
+        crowd[order[n - 1]] = f64::INFINITY;
+        for w in 1..n - 1 {
+            let i = order[w];
+            if crowd[i].is_finite() {
+                crowd[i] += (key(order[w + 1]) - key(order[w - 1])) / span;
+            }
+        }
+    }
+    crowd
+}
+
+/// Selects the `k` most informative candidates for real evaluation.
+///
+/// The pool is deduplicated by genome, stripped of `exclude` (genomes
+/// that already carry a real label) and sorted lexicographically, so the
+/// result is invariant to the order and multiplicity of `candidates`.
+/// Score = normalized QoR variance + normalized hardware variance +
+/// `novelty_weight` × normalized crowding distance of the *estimated*
+/// points; ties break lexicographically by genome.
+pub fn select_informative(
+    estimator: &ModelEstimator<'_>,
+    candidates: &[Configuration],
+    exclude: &HashSet<Vec<u16>>,
+    k: usize,
+    novelty_weight: f64,
+) -> Vec<Configuration> {
+    let mut pool: BTreeSet<&[u16]> = BTreeSet::new();
+    for c in candidates {
+        if !exclude.contains(c.genes()) {
+            pool.insert(c.genes());
+        }
+    }
+    if pool.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let stride = estimator.space.slot_count();
+    let mut batch = ConfigBatch::with_capacity(stride, pool.len());
+    for genes in &pool {
+        batch.push_genes(genes);
+    }
+    let rows = batch.slice(0..batch.len());
+    let (mut qvar, mut hvar) = (Vec::new(), Vec::new());
+    estimator.variance_slice(rows, &mut qvar, &mut hvar);
+    let mut points = Vec::new();
+    estimator.estimate_slice(rows, &mut points);
+    let objs: Vec<(f64, f64)> = points.iter().map(|p| (-p.qor, p.cost)).collect();
+    let crowd = crowding(&objs);
+
+    // Normalize each signal to [0, 1] over the pool; a flat signal
+    // (max 0) contributes nothing rather than dividing by zero.
+    let norm = |v: &[f64]| -> Vec<f64> {
+        let max = v
+            .iter()
+            .copied()
+            .filter(|x| x.is_finite())
+            .fold(0.0, f64::max);
+        v.iter()
+            .map(|&x| {
+                if !x.is_finite() {
+                    1.0
+                } else if max > 0.0 {
+                    x / max
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    };
+    let (qn, hn, cn) = (norm(&qvar), norm(&hvar), norm(&crowd));
+    let mut scored: Vec<(f64, usize)> = (0..batch.len())
+        .map(|i| (qn[i] + hn[i] + novelty_weight * cn[i], i))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.0.total_cmp(&a.0)
+            .then_with(|| batch.row(a.1).cmp(batch.row(b.1)))
+    });
+    scored
+        .into_iter()
+        .take(k)
+        .map(|(_, i)| batch.to_configuration(i))
+        .collect()
+}
+
+/// The candidate pool of one refinement round: every front member plus
+/// all its one-gene ±1 neighbours (the hill climb's move set), so the
+/// acquisition can look one step past the shadow of the current front.
+fn neighbourhood_pool(
+    space: &ConfigSpace,
+    front: &ParetoFront<Configuration>,
+) -> Vec<Configuration> {
+    let sizes = space.sizes();
+    let mut pool = Vec::new();
+    for (_, c) in front.iter() {
+        pool.push(c.clone());
+        for slot in 0..sizes.len() {
+            let g = c.genes()[slot];
+            for n in [g.checked_sub(1), g.checked_add(1)].into_iter().flatten() {
+                if (n as usize) < sizes[slot] {
+                    let mut genes = c.genes().to_vec();
+                    genes[slot] = n;
+                    pool.push(Configuration::from_genes(genes));
+                }
+            }
+        }
+    }
+    pool
+}
+
+/// Deterministic per-segment seed stream (SplitMix64 over the base
+/// seed): segment 0 reuses the caller's seed so a one-segment run is
+/// bit-identical to the plain search.
+fn segment_seed(base: u64, segment: usize) -> u64 {
+    if segment == 0 {
+        return base;
+    }
+    let mut z = base.wrapping_add((segment as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the refined search: `epochs + 1` warm-started search segments
+/// with an acquire → real-evaluate → refit step between consecutive
+/// segments. `train` and `models` are updated in place (the caller owns
+/// the grown training set and the refined models afterwards); `test`
+/// stays held out and is only used for the fidelity report.
+///
+/// With [`RefinementSchedule::is_off`] the caller should not be here —
+/// the function still behaves (single segment, no refit) but the plain
+/// [`crate::search::run_search_cancellable`] is cheaper.
+///
+/// # Errors
+/// Propagates [`AutoAxError::Train`] from a refit and
+/// [`AutoAxError::Fidelity`] from a malformed train/test set. A fired
+/// [`CancelToken`] stops the loop at the next segment boundary and
+/// returns the front found so far (like the search strategies).
+#[allow(clippy::too_many_arguments)]
+pub fn refined_search<W: autoax_accel::Workload + ?Sized>(
+    evaluator: &Evaluator<'_, W>,
+    engine: EngineKind,
+    space: &ConfigSpace,
+    lib: &ComponentLibrary,
+    train: &mut EvaluatedSet,
+    test: &EvaluatedSet,
+    models: &mut FittedModels,
+    opts: &SearchOptions,
+    model_seed: u64,
+    cancel: &CancelToken,
+) -> Result<(ParetoFront<Configuration>, RefinementReport), AutoAxError> {
+    let sched = opts.refine;
+    let before = fidelity_report(models, space, lib, train, test)?;
+    let mut evaluated: HashSet<Vec<u16>> = train
+        .configs
+        .iter()
+        .chain(test.configs.iter())
+        .map(|c| c.genes().to_vec())
+        .collect();
+
+    let segments = sched.epochs + 1;
+    let base = opts.max_evals / segments;
+    let extra = opts.max_evals % segments;
+    let strategy = opts.strategy.strategy();
+
+    let mut front: ParetoFront<Configuration> = ParetoFront::new();
+    let mut real_evals = 0usize;
+    let mut epochs_run = 0usize;
+    for seg in 0..segments {
+        if cancel.is_cancelled() {
+            break;
+        }
+        let seg_opts = SearchOptions {
+            max_evals: base + usize::from(seg < extra),
+            seed: segment_seed(opts.seed, seg),
+            refine: RefinementSchedule::off(),
+            ..*opts
+        };
+        let picked = {
+            let estimator = ModelEstimator::new(models, space, lib);
+            front = strategy.search_epoch(space, &estimator, &seg_opts, cancel, &front);
+            if seg + 1 == segments || cancel.is_cancelled() {
+                break;
+            }
+            let pool = neighbourhood_pool(space, &front);
+            select_informative(
+                &estimator,
+                &pool,
+                &evaluated,
+                sched.per_epoch,
+                sched.novelty_weight,
+            )
+        };
+        if picked.is_empty() {
+            // Everything near the front already carries a real label;
+            // further rounds would only re-search.
+            continue;
+        }
+        let evals = evaluator.evaluate_batch(&picked);
+        real_evals += picked.len();
+        for (c, e) in picked.into_iter().zip(evals) {
+            evaluated.insert(c.genes().to_vec());
+            train.configs.push(c);
+            train.evals.push(e);
+        }
+        refit(engine, space, lib, train, models, &sched, seg, model_seed)?;
+        epochs_run += 1;
+    }
+
+    let after = fidelity_report(models, space, lib, train, test)?;
+    Ok((
+        front,
+        RefinementReport {
+            before,
+            after,
+            real_evals,
+            epochs_run,
+        },
+    ))
+}
+
+/// One refit step: patch `replace_trees` rotating forest slots when both
+/// models are random forests ([`autoax_ml::forest::RandomForest::refit_trees`]),
+/// otherwise fall back to a full [`fit_models`] from scratch on the
+/// grown training set (bit-identical to cold-training on it).
+#[allow(clippy::too_many_arguments)]
+fn refit(
+    engine: EngineKind,
+    space: &ConfigSpace,
+    lib: &ComponentLibrary,
+    train: &EvaluatedSet,
+    models: &mut FittedModels,
+    sched: &RefinementSchedule,
+    round: usize,
+    model_seed: u64,
+) -> Result<(), AutoAxError> {
+    let both_forests = sched.replace_trees > 0
+        && models
+            .qor
+            .as_any()
+            .map(|a| a.is::<autoax_ml::forest::RandomForest>())
+            .unwrap_or(false)
+        && models
+            .hw
+            .as_any()
+            .map(|a| a.is::<autoax_ml::forest::RandomForest>())
+            .unwrap_or(false);
+    if !both_forests {
+        *models = fit_models(engine, space, lib, train, model_seed)?;
+        return Ok(());
+    }
+    let qx = train.qor_matrix(space);
+    let qy = train.qor_targets();
+    let hx = train.hw_matrix(space, lib);
+    let hy = train.area_targets();
+    let patch = |m: &mut Box<dyn autoax_ml::engine::Regressor>,
+                 x: &autoax_ml::Matrix,
+                 y: &[f64]|
+     -> Result<(), AutoAxError> {
+        let f = m
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<autoax_ml::forest::RandomForest>())
+            .expect("checked above");
+        f.refit_trees(x, y, round, sched.replace_trees)?;
+        Ok(())
+    };
+    patch(&mut models.qor, &qx, &qy)?;
+    patch(&mut models.hw, &hx, &hy)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fit_models;
+    use crate::preprocess::{preprocess, PreprocessOptions};
+    use crate::search::SearchAlgo;
+    use autoax_accel::sobel::SobelEd;
+    use autoax_circuit::charlib::{build_library, LibraryConfig};
+    use autoax_image::synthetic::benchmark_suite;
+
+    #[test]
+    fn off_schedule_is_the_default_and_degenerates_detectably() {
+        assert_eq!(RefinementSchedule::default(), RefinementSchedule::off());
+        assert!(RefinementSchedule::off().is_off());
+        assert!(!RefinementSchedule::quick().is_off());
+        let degenerate = RefinementSchedule {
+            per_epoch: 0,
+            ..RefinementSchedule::quick()
+        };
+        assert!(degenerate.is_off());
+    }
+
+    #[test]
+    fn crowding_marks_extremes_infinite_and_isolated_points_high() {
+        let pts = [(0.0, 3.0), (1.0, 1.0), (1.1, 0.9), (3.0, 0.0)];
+        let c = crowding(&pts);
+        assert!(c[0].is_infinite() && c[3].is_infinite());
+        // the (1.0, 1.0) pair sits in a tight cluster; its crowding must
+        // be finite and smaller than the span-wide neighbour gap
+        assert!(c[1].is_finite() && c[2].is_finite());
+        assert!(c[1] < 2.0);
+        let tiny = crowding(&pts[..2]);
+        assert!(tiny.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn segment_seed_zero_is_identity_and_streams_differ() {
+        assert_eq!(segment_seed(42, 0), 42);
+        assert_ne!(segment_seed(42, 1), segment_seed(42, 2));
+        assert_ne!(segment_seed(42, 1), segment_seed(43, 1));
+    }
+
+    struct Fixture {
+        lib: autoax_circuit::charlib::ComponentLibrary,
+        images: Vec<autoax_image::GrayImage>,
+        pre: crate::preprocess::Preprocessed,
+        accel: SobelEd,
+    }
+
+    fn fixture() -> Fixture {
+        let accel = SobelEd::new();
+        let lib = build_library(&LibraryConfig::tiny());
+        let images = benchmark_suite(2, 48, 32, 5);
+        let pre = preprocess(&accel, &lib, &images, &PreprocessOptions::default()).unwrap();
+        Fixture {
+            lib,
+            images,
+            pre,
+            accel,
+        }
+    }
+
+    #[test]
+    fn selection_is_input_order_invariant_and_respects_exclusions() {
+        let s = fixture();
+        let ev = Evaluator::new(&s.accel, &s.lib, &s.pre.space, &s.images);
+        let train = EvaluatedSet::generate(&ev, &s.pre.space, 40, 1);
+        let models = fit_models(EngineKind::RandomForest, &s.pre.space, &s.lib, &train, 7).unwrap();
+        let est = ModelEstimator::new(&models, &s.pre.space, &s.lib);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        let pool: Vec<Configuration> = (0..30).map(|_| s.pre.space.random(&mut rng)).collect();
+        let exclude: HashSet<Vec<u16>> = pool[..5].iter().map(|c| c.genes().to_vec()).collect();
+        let a = select_informative(&est, &pool, &exclude, 8, 0.5);
+        let mut reversed = pool.clone();
+        reversed.reverse();
+        // duplicate the pool too: multiplicity must not matter
+        reversed.extend(pool.iter().cloned());
+        let b = select_informative(&est, &reversed, &exclude, 8, 0.5);
+        assert_eq!(a, b, "selection depends on candidate order/multiplicity");
+        for c in &a {
+            assert!(!exclude.contains(c.genes()), "picked an excluded genome");
+        }
+        let distinct: HashSet<&[u16]> = a.iter().map(|c| c.genes()).collect();
+        assert_eq!(distinct.len(), a.len(), "duplicate picks");
+    }
+
+    #[test]
+    fn refined_search_grows_train_and_reports_budget() {
+        let s = fixture();
+        let ev = Evaluator::new(&s.accel, &s.lib, &s.pre.space, &s.images);
+        let mut train = EvaluatedSet::generate(&ev, &s.pre.space, 40, 1);
+        let test = EvaluatedSet::generate(&ev, &s.pre.space, 24, 2);
+        let mut models =
+            fit_models(EngineKind::RandomForest, &s.pre.space, &s.lib, &train, 7).unwrap();
+        let before_len = train.configs.len();
+        let opts = SearchOptions {
+            strategy: SearchAlgo::Hill,
+            max_evals: 600,
+            seed: 5,
+            islands: 2,
+            refine: RefinementSchedule {
+                epochs: 2,
+                per_epoch: 6,
+                novelty_weight: 0.5,
+                replace_trees: 10,
+            },
+            ..SearchOptions::default()
+        };
+        let (front, report) = refined_search(
+            &ev,
+            EngineKind::RandomForest,
+            &s.pre.space,
+            &s.lib,
+            &mut train,
+            &test,
+            &mut models,
+            &opts,
+            7,
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert!(!front.is_empty());
+        assert_eq!(report.epochs_run, 2);
+        assert_eq!(report.real_evals, 12);
+        assert_eq!(train.configs.len(), before_len + 12);
+        assert_eq!(train.configs.len(), train.evals.len());
+    }
+
+    #[test]
+    fn refined_search_is_deterministic_across_throughput_knobs() {
+        let s = fixture();
+        let ev = Evaluator::new(&s.accel, &s.lib, &s.pre.space, &s.images);
+        let base_train = EvaluatedSet::generate(&ev, &s.pre.space, 40, 1);
+        let test = EvaluatedSet::generate(&ev, &s.pre.space, 24, 2);
+        let run = |threads: usize, batch: usize| {
+            let mut train = base_train.clone();
+            let mut models =
+                fit_models(EngineKind::RandomForest, &s.pre.space, &s.lib, &train, 7).unwrap();
+            let opts = SearchOptions {
+                strategy: SearchAlgo::Hill,
+                max_evals: 400,
+                seed: 11,
+                islands: 2,
+                threads,
+                batch_size: batch,
+                refine: RefinementSchedule {
+                    epochs: 1,
+                    per_epoch: 5,
+                    novelty_weight: 0.5,
+                    replace_trees: 10,
+                },
+                ..SearchOptions::default()
+            };
+            let (front, report) = refined_search(
+                &ev,
+                EngineKind::RandomForest,
+                &s.pre.space,
+                &s.lib,
+                &mut train,
+                &test,
+                &mut models,
+                &opts,
+                7,
+                &CancelToken::new(),
+            )
+            .unwrap();
+            let bits: Vec<(u64, u64, Vec<u16>)> = front
+                .iter()
+                .map(|(p, c)| (p.qor.to_bits(), p.cost.to_bits(), c.genes().to_vec()))
+                .collect();
+            (bits, report.after, train.configs.len())
+        };
+        let reference = run(1, 1);
+        for (threads, batch) in [(2, 7), (8, 64), (4, 256)] {
+            assert_eq!(
+                reference,
+                run(threads, batch),
+                "threads={threads} batch={batch} diverged"
+            );
+        }
+    }
+}

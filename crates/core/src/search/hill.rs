@@ -97,6 +97,10 @@ pub struct SearchOptions {
     /// default ([`autoax_exec::thread_count`]). Pure throughput knob —
     /// any value produces identical results.
     pub threads: usize,
+    /// Active-learning surrogate refinement between search epochs
+    /// ([`crate::refine`]). [`crate::refine::RefinementSchedule::off`]
+    /// (the default) runs the plain single-shot search.
+    pub refine: crate::refine::RefinementSchedule,
 }
 
 impl Default for SearchOptions {
@@ -110,6 +114,7 @@ impl Default for SearchOptions {
             uniform_levels: 25,
             batch_size: ROUND,
             threads: 0,
+            refine: crate::refine::RefinementSchedule::off(),
         }
     }
 }
@@ -216,17 +221,20 @@ impl Island {
 /// pre-engine `heuristic_pareto` implementation.
 pub struct HillClimb;
 
-impl SearchStrategy for HillClimb {
-    fn name(&self) -> &'static str {
-        "hill"
-    }
-
-    fn search_cancellable(
+impl HillClimb {
+    /// The island search body, warm-started from `initial`: the global
+    /// front, the duplicate-offer filter and every island's front are
+    /// seeded with the initial members (in stored front order) before the
+    /// first epoch, so stagnation restarts can jump to warm discoveries
+    /// immediately. An empty `initial` reduces to exactly the plain
+    /// search — the seeding loops are no-ops.
+    fn run_islands(
         &self,
         space: &ConfigSpace,
         estimator: &dyn Estimator,
         opts: &SearchOptions,
         cancel: &CancelToken,
+        initial: &ParetoFront<Configuration>,
     ) -> ParetoFront<Configuration> {
         let islands = opts.islands.max(1);
         let threads = if opts.threads == 0 {
@@ -253,6 +261,16 @@ impl SearchStrategy for HillClimb {
         // O(1) instead of replaying an O(|front|) scan per member per
         // epoch.
         let mut seen: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+        for (p, c) in initial.iter() {
+            if seen.insert((p.qor.to_bits(), p.cost.to_bits())) {
+                global.try_insert(*p, c.clone());
+            }
+        }
+        if !global.is_empty() {
+            for st in &mut states {
+                st.front = global.clone();
+            }
+        }
         for epoch in 0..SYNC_EPOCHS {
             if cancel.is_cancelled() {
                 break;
@@ -288,6 +306,34 @@ impl SearchStrategy for HillClimb {
             }
         }
         global
+    }
+}
+
+impl SearchStrategy for HillClimb {
+    fn name(&self) -> &'static str {
+        "hill"
+    }
+
+    fn search_cancellable(
+        &self,
+        space: &ConfigSpace,
+        estimator: &dyn Estimator,
+        opts: &SearchOptions,
+        cancel: &CancelToken,
+    ) -> ParetoFront<Configuration> {
+        self.run_islands(space, estimator, opts, cancel, &ParetoFront::new())
+    }
+
+    fn search_epoch(
+        &self,
+        space: &ConfigSpace,
+        estimator: &dyn Estimator,
+        opts: &SearchOptions,
+        cancel: &CancelToken,
+        warm: &ParetoFront<Configuration>,
+    ) -> ParetoFront<Configuration> {
+        let warm = super::reestimate_front(estimator, warm);
+        self.run_islands(space, estimator, opts, cancel, &warm)
     }
 }
 

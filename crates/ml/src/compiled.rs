@@ -462,6 +462,67 @@ impl GatherForest {
         self.predict_scalar(genes, out);
     }
 
+    /// Per-row mean and per-tree prediction variance over the compiled
+    /// arena — the refinement loop's acquisition signal, computed without
+    /// materializing per-tree prediction vectors. Batch-major walk over
+    /// the packed `nodes` lane (the same block shape as
+    /// [`GatherForest::predict_genomes_scalar_into`]) with sum and
+    /// sum-of-squares accumulators updated per tree, in tree order, so
+    /// `mean` is bitwise identical to [`GatherForest::predict_genomes_into`]
+    /// on the scalar path and `var` is bitwise identical to brute force
+    /// over the source forest's fitted trees.
+    ///
+    /// # Panics
+    /// Panics on a ragged slab or an out-of-range gene.
+    pub fn predict_genomes_stats_into(
+        &self,
+        genes: &[u16],
+        mean: &mut Vec<f64>,
+        var: &mut Vec<f64>,
+    ) {
+        self.check_genes(genes);
+        let n = genes.len() / self.stride;
+        mean.clear();
+        mean.resize(n, 0.0);
+        var.clear();
+        var.resize(n, 0.0);
+        let mut idx = [0u32; BLOCK];
+        let mut sumsq = [0.0f64; BLOCK];
+        for (b, chunk) in mean.chunks_mut(BLOCK).enumerate() {
+            let rows = &genes[b * BLOCK * self.stride..];
+            let len = chunk.len();
+            sumsq[..len].fill(0.0);
+            for (ti, &root) in self.roots.iter().enumerate() {
+                idx[..len].fill(root);
+                for _ in 0..self.depths[ti] {
+                    let mut changed = 0u32;
+                    for (k, at) in idx[..len].iter_mut().enumerate() {
+                        let nd = &self.nodes[*at as usize];
+                        let g = rows[k * self.stride + (nd.slot_off >> 32) as usize] as u64;
+                        let xv = self.values[((nd.slot_off & 0xFFFF_FFFF) + g) as usize];
+                        let hit = (xv <= nd.threshold) as u64;
+                        let next = (nd.children >> (32 & hit.wrapping_sub(1))) as u32;
+                        changed |= next ^ *at;
+                        *at = next;
+                    }
+                    if changed == 0 {
+                        break; // whole block settled on leaves
+                    }
+                }
+                for (k, acc) in chunk.iter_mut().enumerate() {
+                    let v = self.leaf[idx[k] as usize];
+                    *acc += v;
+                    sumsq[k] += v * v;
+                }
+            }
+            for (k, acc) in chunk.iter_mut().enumerate() {
+                let m = *acc / self.divisor;
+                *acc = m;
+                var[b * BLOCK + k] = (sumsq[k] / self.divisor - m * m).max(0.0);
+            }
+        }
+    }
+
     /// Validates the slab shape and that every gene indexes inside its
     /// slot's baked table, so the kernels can gather unchecked.
     fn check_genes(&self, genes: &[u16]) {
@@ -1024,6 +1085,66 @@ mod tests {
             .bake_gather(&layout)
             .unwrap();
         gf.predict_genomes_into(&[0, 3], &mut Vec::new());
+    }
+
+    #[test]
+    fn stats_kernel_matches_brute_force_mean_and_variance() {
+        let mut st = 31u64;
+        let stride = 4;
+        let members = 5;
+        let layout = random_layout(stride, 2, members, &mut st);
+        let train_genes: Vec<u16> = (0..150 * stride)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let xt = materialize(&layout, &train_genes);
+        let y: Vec<f64> = xt.rows_iter().map(|r| r.iter().sum()).collect();
+        let mut f = RandomForest::new(9).with_trees(13);
+        f.fit(&xt, &y).unwrap();
+        let gf = CompiledForest::from_forest(&f)
+            .unwrap()
+            .bake_gather(&layout)
+            .unwrap();
+        // 131 rows straddles the BLOCK boundary, exercising the tail
+        let genes: Vec<u16> = (0..131 * stride)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let x = materialize(&layout, &genes);
+        let (mut mean, mut var) = (Vec::new(), Vec::new());
+        gf.predict_genomes_stats_into(&genes, &mut mean, &mut var);
+        let mut scalar = Vec::new();
+        gf.predict_genomes_scalar_into(&genes, &mut scalar);
+        for (i, row) in x.rows_iter().enumerate() {
+            assert_eq!(mean[i].to_bits(), scalar[i].to_bits(), "mean row {i}");
+            assert_eq!(
+                var[i].to_bits(),
+                f.predict_variance_row(row).to_bits(),
+                "variance row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_kernel_variance_is_zero_for_a_single_tree() {
+        let mut st = 8u64;
+        let layout = random_layout(3, 1, 4, &mut st);
+        let train_genes: Vec<u16> = (0..60 * 3)
+            .map(|_| (lcg(&mut st) * 4.0) as u16 % 4)
+            .collect();
+        let xt = materialize(&layout, &train_genes);
+        let y: Vec<f64> = xt.rows_iter().map(|r| r.iter().sum()).collect();
+        let mut f = RandomForest::new(2).with_trees(1);
+        f.fit(&xt, &y).unwrap();
+        let gf = CompiledForest::from_forest(&f)
+            .unwrap()
+            .bake_gather(&layout)
+            .unwrap();
+        let genes: Vec<u16> = (0..20 * 3)
+            .map(|_| (lcg(&mut st) * 4.0) as u16 % 4)
+            .collect();
+        let (mut mean, mut var) = (Vec::new(), Vec::new());
+        gf.predict_genomes_stats_into(&genes, &mut mean, &mut var);
+        assert!(var.iter().all(|&v| v == 0.0), "single tree has no spread");
+        assert_eq!(mean.len(), 20);
     }
 
     proptest! {

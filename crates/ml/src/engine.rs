@@ -74,6 +74,15 @@ pub trait Regressor: Send + Sync {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
+
+    /// Mutable concrete-type view for in-place model surgery (the
+    /// refinement loop downcasts through this to replace a subset of a
+    /// fitted forest's trees instead of refitting from scratch). Engines
+    /// without an incremental path keep the default `None`, and callers
+    /// fall back to a full refit.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// The engines compared in the paper's Table 3 (naïve models are built
@@ -221,7 +230,7 @@ mod tests {
         let test_fidelity = |kind: EngineKind| {
             let mut m = kind.make(3);
             m.fit(&xt, &yt).unwrap();
-            fidelity(&m.predict(&xv), &yv)
+            fidelity(&m.predict(&xv), &yv).unwrap()
         };
         let rf = test_fidelity(EngineKind::RandomForest);
         let sgd = test_fidelity(EngineKind::StochasticGradientDescent);
@@ -240,8 +249,8 @@ mod tests {
         }
         let mut gp = EngineKind::GaussianProcess.make(0);
         gp.fit(&xt, &yt).unwrap();
-        let train_f = fidelity(&gp.predict(&xt), &yt);
-        let test_f = fidelity(&gp.predict(&xv), &yv);
+        let train_f = fidelity(&gp.predict(&xt), &yt).unwrap();
+        let test_f = fidelity(&gp.predict(&xv), &yv).unwrap();
         assert!(train_f > 0.97, "GP must interpolate: {train_f}");
         assert!(
             test_f < train_f,

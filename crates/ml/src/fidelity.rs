@@ -9,6 +9,28 @@
 //! accuracy is unnecessary, and fidelity is invariant under strictly
 //! monotone transforms of the predictions.
 
+/// Error returned when the estimated and real slices cannot be compared
+/// pairwise because their lengths differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FidelityError {
+    /// Length of the estimated-values slice.
+    pub estimated: usize,
+    /// Length of the real-values slice.
+    pub real: usize,
+}
+
+impl std::fmt::Display for FidelityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fidelity input length mismatch: {} estimated vs {} real values",
+            self.estimated, self.real
+        )
+    }
+}
+
+impl std::error::Error for FidelityError {}
+
 /// Three-way ordering with a tie tolerance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Relation {
@@ -32,20 +54,22 @@ fn relation(a: f64, b: f64, eps: f64) -> Relation {
 /// Fraction of pairs `(i, j)`, `i < j`, for which `estimated` orders the
 /// pair the same way as `real` (with tie tolerance `eps` on both sides).
 ///
-/// Returns 1.0 for fewer than two samples (there is nothing to disagree
-/// about).
+/// Returns `Ok(1.0)` for fewer than two samples (there is nothing to
+/// disagree about).
 ///
-/// # Panics
-/// Panics if the slices have different lengths.
-pub fn fidelity_with_eps(estimated: &[f64], real: &[f64], eps: f64) -> f64 {
-    assert_eq!(
-        estimated.len(),
-        real.len(),
-        "fidelity input length mismatch"
-    );
+/// # Errors
+/// Returns [`FidelityError`] when the slices have different lengths —
+/// pairwise comparison is undefined in that case.
+pub fn fidelity_with_eps(estimated: &[f64], real: &[f64], eps: f64) -> Result<f64, FidelityError> {
+    if estimated.len() != real.len() {
+        return Err(FidelityError {
+            estimated: estimated.len(),
+            real: real.len(),
+        });
+    }
     let n = estimated.len();
     if n < 2 {
-        return 1.0;
+        return Ok(1.0);
     }
     let mut agree = 0u64;
     let mut total = 0u64;
@@ -59,13 +83,16 @@ pub fn fidelity_with_eps(estimated: &[f64], real: &[f64], eps: f64) -> f64 {
             total += 1;
         }
     }
-    agree as f64 / total as f64
+    Ok(agree as f64 / total as f64)
 }
 
 /// [`fidelity_with_eps`] with a tie tolerance of `1e-9` times the spread of
 /// the real values — a practical default that treats floating-point noise
 /// as equality without collapsing genuinely distinct values.
-pub fn fidelity(estimated: &[f64], real: &[f64]) -> f64 {
+///
+/// # Errors
+/// Returns [`FidelityError`] when the slices have different lengths.
+pub fn fidelity(estimated: &[f64], real: &[f64]) -> Result<f64, FidelityError> {
     let spread = real
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
@@ -82,23 +109,23 @@ mod tests {
     #[test]
     fn perfect_model_scores_one() {
         let real = [1.0, 3.0, 2.0, 5.0];
-        assert_eq!(fidelity(&real, &real), 1.0);
+        assert_eq!(fidelity(&real, &real).unwrap(), 1.0);
     }
 
     #[test]
     fn monotone_transform_preserves_fidelity() {
         let real = [1.0, 3.0, 2.0, 5.0, 4.0];
         let est: Vec<f64> = real.iter().map(|v| v * 100.0 - 7.0).collect();
-        assert_eq!(fidelity(&est, &real), 1.0);
+        assert_eq!(fidelity(&est, &real).unwrap(), 1.0);
         let est_log: Vec<f64> = real.iter().map(|v| v.ln()).collect();
-        assert_eq!(fidelity(&est_log, &real), 1.0);
+        assert_eq!(fidelity(&est_log, &real).unwrap(), 1.0);
     }
 
     #[test]
     fn inverted_model_scores_zero() {
         let real = [1.0, 2.0, 3.0, 4.0];
         let est = [4.0, 3.0, 2.0, 1.0];
-        assert_eq!(fidelity(&est, &real), 0.0);
+        assert_eq!(fidelity(&est, &real).unwrap(), 0.0);
     }
 
     #[test]
@@ -107,7 +134,7 @@ mod tests {
         // Equal vs Less/Greater -> fidelity 0.
         let real = [1.0, 2.0, 3.0];
         let est = [5.0, 5.0, 5.0];
-        assert_eq!(fidelity(&est, &real), 0.0);
+        assert_eq!(fidelity(&est, &real).unwrap(), 0.0);
     }
 
     #[test]
@@ -116,7 +143,7 @@ mod tests {
         let real = [0.0, 1.0, 2.0, 3.0];
         let est = [0.0, 1.0, 3.0, 2.0];
         // pairs: (0,1)+ (0,2)+ (0,3)+ (1,2)+ (1,3)+ (2,3)-  => 5/6
-        assert!((fidelity(&est, &real) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((fidelity(&est, &real).unwrap() - 5.0 / 6.0).abs() < 1e-12);
     }
 
     #[test]
@@ -124,12 +151,50 @@ mod tests {
         let real = [1.0, 1.0, 2.0];
         let est = [5.0, 5.0 + 1e-12, 9.0];
         // (0,1): both Equal -> agree; others ordered correctly.
-        assert_eq!(fidelity_with_eps(&est, &real, 1e-9), 1.0);
+        assert_eq!(fidelity_with_eps(&est, &real, 1e-9).unwrap(), 1.0);
     }
 
     #[test]
     fn short_inputs_are_trivially_perfect() {
-        assert_eq!(fidelity(&[1.0], &[2.0]), 1.0);
-        assert_eq!(fidelity(&[], &[]), 1.0);
+        assert_eq!(fidelity(&[1.0], &[2.0]).unwrap(), 1.0);
+        assert_eq!(fidelity(&[], &[]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn length_mismatch_is_a_typed_error() {
+        let err = fidelity(&[1.0, 2.0], &[1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            FidelityError {
+                estimated: 2,
+                real: 1
+            }
+        );
+        assert!(err.to_string().contains("2 estimated vs 1 real"));
+        let err = fidelity_with_eps(&[], &[0.5], 1e-9).unwrap_err();
+        assert_eq!(
+            err,
+            FidelityError {
+                estimated: 0,
+                real: 1
+            }
+        );
+    }
+
+    #[test]
+    fn empty_against_empty_is_perfect_not_an_error() {
+        assert_eq!(fidelity_with_eps(&[], &[], 0.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn exact_eps_boundary_counts_as_equal() {
+        // |d| == eps exactly is Equal on both sides: agreement.
+        let real = [0.0, 1.0, 5.0];
+        let est = [3.0, 4.0, 9.0];
+        assert_eq!(fidelity_with_eps(&est, &real, 1.0).unwrap(), 1.0);
+        // Past the boundary the tie breaks on one side only.
+        let est2 = [3.0, 4.5, 9.0];
+        let f = fidelity_with_eps(&est2, &real, 1.0).unwrap();
+        assert!((f - 2.0 / 3.0).abs() < 1e-12, "got {f}");
     }
 }

@@ -102,7 +102,7 @@ mod tests {
         m.gamma = Some(20.0);
         m.fit(&x, &y).unwrap();
         let preds: Vec<f64> = x.rows_iter().map(|r| m.predict_row(r)).collect();
-        let f = crate::fidelity::fidelity(&preds, &y);
+        let f = crate::fidelity::fidelity(&preds, &y).unwrap();
         assert!(f > 0.9, "fidelity {f}");
     }
 

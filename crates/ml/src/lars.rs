@@ -173,7 +173,7 @@ mod tests {
         // With one step the dominant feature is partially fit; prediction
         // correlates with y but is not exact.
         let preds: Vec<f64> = x.rows_iter().map(|r| m.predict_row(r)).collect();
-        let f = crate::fidelity::fidelity(&preds, &y);
+        let f = crate::fidelity::fidelity(&preds, &y).unwrap();
         assert!(f > 0.7, "one-step LARS fidelity too low: {f}");
     }
 

@@ -54,5 +54,5 @@ pub mod tree;
 
 pub use compiled::{CompiledForest, GatherForest, GatherLayout};
 pub use engine::{EngineKind, Regressor, TrainError};
-pub use fidelity::fidelity;
+pub use fidelity::{fidelity, FidelityError};
 pub use linalg::Matrix;

@@ -209,7 +209,7 @@ mod tests {
         m.epochs = 80;
         m.fit(&x, &y).unwrap();
         let preds: Vec<f64> = x.rows_iter().map(|r| m.predict_row(r)).collect();
-        let f = fidelity(&preds, &y);
+        let f = fidelity(&preds, &y).unwrap();
         assert!(f > 0.85, "MLP fidelity {f}");
     }
 

@@ -122,7 +122,7 @@ mod tests {
         let mut m = PartialLeastSquares::new();
         m.fit(&x, &y).unwrap();
         let preds: Vec<f64> = x.rows_iter().map(|r| m.predict_row(r)).collect();
-        let f = fidelity(&preds, &y);
+        let f = fidelity(&preds, &y).unwrap();
         assert!(f > 0.9, "PLS fidelity {f}");
     }
 

@@ -84,9 +84,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train = EvaluatedSet::generate(&evaluator, &pre.space, train_n, 1);
     let test = EvaluatedSet::generate(&evaluator, &pre.space, train_n / 2, 2);
     let models = fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42)?;
-    let rep = fidelity_report(&models, &pre.space, &lib, &train, &test);
+    let rep = fidelity_report(&models, &pre.space, &lib, &train, &test)?;
     let naive = naive_models(&pre.space);
-    let nrep = fidelity_report(&naive, &pre.space, &lib, &train, &test);
+    let nrep = fidelity_report(&naive, &pre.space, &lib, &train, &test)?;
     println!(
         "  random forest: SSIM {:.0}%/{:.0}%  area {:.0}%/{:.0}%  (train/test)",
         rep.qor_train * 100.0,

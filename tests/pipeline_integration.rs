@@ -123,13 +123,13 @@ fn model_estimates_rank_real_evaluations() {
     let train = EvaluatedSet::generate(&ev, &pre.space, 60, 1);
     let test = EvaluatedSet::generate(&ev, &pre.space, 30, 2);
     let models = fit_models(EngineKind::RandomForest, &pre.space, &lib, &train, 42).unwrap();
-    let rep = fidelity_report(&models, &pre.space, &lib, &train, &test);
+    let rep = fidelity_report(&models, &pre.space, &lib, &train, &test).unwrap();
     assert!(rep.qor_test > 0.6, "{rep:?}");
     assert!(rep.hw_test > 0.6, "{rep:?}");
     // naive models work but are not dramatically better (Table 3 shape is
     // asserted statistically in the bench binaries; here only sanity).
     let naive = naive_models(&pre.space);
-    let nrep = fidelity_report(&naive, &pre.space, &lib, &train, &test);
+    let nrep = fidelity_report(&naive, &pre.space, &lib, &train, &test).unwrap();
     assert!(nrep.qor_test > 0.5, "{nrep:?}");
 }
 

@@ -1,0 +1,172 @@
+//! Integration contract of the active-learning refinement loop (the
+//! paper's Step 2/3 closure):
+//!
+//! * **off means off** — [`autoax::RefinementSchedule::off`] reproduces
+//!   the pinned quickstart front digest bit for bit;
+//! * **throughput invariance** — a refined run is byte-identical across
+//!   worker-thread counts and batch sizes (the same contract the plain
+//!   search layer pins);
+//! * **the gain is real** — at an equal total real-evaluation budget,
+//!   the refined models beat an unrefined baseline on held-out fidelity,
+//!   and the refined front's hypervolume does not regress.
+
+use autoax::pipeline::{run_pipeline, PipelineOptions, PipelineResult};
+use autoax::{RefinementSchedule, TradeoffPoint};
+use autoax_accel::sobel::SobelEd;
+use autoax_circuit::charlib::{build_library, ComponentLibrary, LibraryConfig};
+use autoax_image::GrayImage;
+
+/// Exactly the quickstart example's setup (the pinned-digest scenario).
+fn quickstart_setup() -> (SobelEd, ComponentLibrary, Vec<GrayImage>) {
+    (
+        SobelEd::new(),
+        build_library(&LibraryConfig::tiny()),
+        autoax_image::synthetic::benchmark_suite(4, 96, 64, 7),
+    )
+}
+
+/// A smaller setup for the repeated-run invariance matrix.
+fn small_setup() -> (SobelEd, ComponentLibrary, Vec<GrayImage>) {
+    (
+        SobelEd::new(),
+        build_library(&LibraryConfig::tiny()),
+        autoax_image::synthetic::benchmark_suite(2, 48, 32, 5),
+    )
+}
+
+/// Bit-pattern of each pseudo-front member: (qor, cost, genome).
+type FrontBits = Vec<(u64, u64, Vec<u16>)>;
+/// Bit-pattern of a refinement report: (qor-after, hw-after, evals, epochs).
+type ReportBits = Vec<(u64, u64, u64, u64)>;
+
+/// Deterministic fingerprint of everything a refined run produces.
+fn snapshot(res: &PipelineResult) -> (u64, FrontBits, ReportBits) {
+    let front = res
+        .pseudo_front
+        .iter()
+        .map(|(p, c)| (p.qor.to_bits(), p.cost.to_bits(), c.genes().to_vec()))
+        .collect();
+    let reports = res
+        .refinement
+        .iter()
+        .map(|r| {
+            (
+                r.after.qor_test.to_bits(),
+                r.after.hw_test.to_bits(),
+                r.real_evals as u64,
+                r.epochs_run as u64,
+            )
+        })
+        .collect();
+    (res.front_digest(), front, reports)
+}
+
+#[test]
+fn off_schedule_reproduces_the_pinned_quickstart_digest() {
+    let (accel, lib, images) = quickstart_setup();
+    let mut opts = PipelineOptions::quick();
+    opts.search.refine = RefinementSchedule::off();
+    let res = run_pipeline(&accel, &lib, &images, &opts).expect("pipeline");
+    assert!(res.refinement.is_none(), "off schedule must not refine");
+    assert_eq!(res.pseudo_front.len(), 65, "pseudo-Pareto size drifted");
+    assert_eq!(res.final_front.len(), 14, "final front size drifted");
+    assert_eq!(
+        res.front_digest(),
+        0x252e_0c00_c843_33a4,
+        "RefinementSchedule::off must leave the plain pipeline bit-identical \
+         to the pre-refinement baseline"
+    );
+}
+
+#[test]
+fn refined_run_is_byte_identical_across_threads_and_batch_sizes() {
+    let (accel, lib, images) = small_setup();
+    let run = |threads: usize, batch_size: usize| {
+        let mut opts = PipelineOptions::quick();
+        opts.search.max_evals = 1_500;
+        opts.search.threads = threads;
+        opts.search.batch_size = batch_size;
+        opts.search.refine = RefinementSchedule {
+            epochs: 2,
+            per_epoch: 8,
+            novelty_weight: 0.5,
+            replace_trees: 25,
+        };
+        snapshot(&run_pipeline(&accel, &lib, &images, &opts).expect("pipeline"))
+    };
+    let reference = run(1, 1);
+    assert!(!reference.1.is_empty(), "empty pseudo front");
+    for (threads, batch) in [(2, 1), (1, 17), (8, 64), (2, 256)] {
+        assert_eq!(
+            reference,
+            run(threads, batch),
+            "threads={threads} batch={batch} diverged: refinement broke the \
+             pure-throughput-knob contract"
+        );
+    }
+}
+
+/// 2-D hypervolume (QoR × area) of a final front under joint
+/// normalization with the other front — the equal-footing comparison
+/// `autoax::pareto::joint_hypervolumes` provides.
+fn final_points(res: &PipelineResult) -> Vec<TradeoffPoint> {
+    res.final_front
+        .iter()
+        .map(|m| TradeoffPoint::new(m.qor, m.area))
+        .collect()
+}
+
+#[test]
+fn refinement_beats_the_unrefined_baseline_at_an_equal_real_eval_budget() {
+    let (accel, lib, images) = quickstart_setup();
+    let schedule = RefinementSchedule::quick();
+    let extra = schedule.epochs * schedule.per_epoch;
+
+    // Refined run: 50 training evals up front + 32 actively-selected
+    // refinement evals.
+    let mut refined_opts = PipelineOptions::quick();
+    refined_opts.search.refine = schedule;
+    let refined = run_pipeline(&accel, &lib, &images, &refined_opts).expect("refined");
+    let report = refined.refinement.expect("refinement ran");
+    assert_eq!(report.epochs_run, schedule.epochs);
+    assert_eq!(report.real_evals, extra);
+
+    // Unrefined baseline at the same total budget: all 50 + 32 evals
+    // spent up front on uniformly random training configurations.
+    let mut baseline_opts = PipelineOptions::quick();
+    baseline_opts.train_configs += extra;
+    let baseline = run_pipeline(&accel, &lib, &images, &baseline_opts).expect("baseline");
+    assert!(baseline.refinement.is_none());
+
+    // Fidelity on the held-out pairs (same 30-config test set in both
+    // runs: same space, same seed stream).
+    let refined_fid = (report.after.qor_test + report.after.hw_test) / 2.0;
+    let baseline_fid = (baseline.fidelity.qor_test + baseline.fidelity.hw_test) / 2.0;
+    assert!(
+        refined_fid > baseline_fid,
+        "active learning must beat random sampling at equal budget: \
+         refined {refined_fid:.4} (qor {:.4} hw {:.4}) vs \
+         baseline {baseline_fid:.4} (qor {:.4} hw {:.4})",
+        report.after.qor_test,
+        report.after.hw_test,
+        baseline.fidelity.qor_test,
+        baseline.fidelity.hw_test,
+    );
+    // ... and refinement must improve the models it started from.
+    let before_fid = (report.before.qor_test + report.before.hw_test) / 2.0;
+    assert!(
+        refined_fid > before_fid,
+        "fidelity-after {refined_fid:.4} must beat fidelity-before {before_fid:.4}"
+    );
+
+    // Real-front quality must not regress: hypervolume of the refined
+    // run's final front >= the baseline's, normalized jointly.
+    let hv =
+        autoax::pareto::joint_hypervolumes(&[&final_points(&refined), &final_points(&baseline)]);
+    assert!(
+        hv[0] >= hv[1],
+        "refined hypervolume {:.4} regressed below unrefined {:.4}",
+        hv[0],
+        hv[1]
+    );
+}
