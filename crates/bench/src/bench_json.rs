@@ -295,6 +295,26 @@ pub fn pipeline_record(t: &autoax::pipeline::PipelineTimings) -> Json {
             "search_evals_per_sec".into(),
             Json::Num(t.search_evals_per_sec),
         ),
+        ("search_estimates".into(), Json::int(t.search_estimates)),
+        (
+            "search_propose_s".into(),
+            Json::Num(t.search_propose.as_secs_f64()),
+        ),
+        (
+            "search_estimate_s".into(),
+            Json::Num(t.search_estimate.as_secs_f64()),
+        ),
+        (
+            "search_insert_s".into(),
+            Json::Num(t.search_insert.as_secs_f64()),
+        ),
+        (
+            "search_engines".into(),
+            Json::Arr(vec![
+                Json::Str(t.search_engines.0.to_string()),
+                Json::Str(t.search_engines.1.to_string()),
+            ]),
+        ),
         ("final_eval_s".into(), Json::Num(t.final_eval.as_secs_f64())),
     ])
 }

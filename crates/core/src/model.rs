@@ -320,6 +320,16 @@ impl<'a> ModelEstimator<'a> {
         (self.qor_fused.is_some(), self.hw_fused.is_some())
     }
 
+    /// Node encoding each fused kernel dispatches to (`"mask32"`,
+    /// `"mask"`, `"quant"` or `"gather"`; `"matrix"` when the model is
+    /// not fused) — hot-path observability for benches and the pipeline
+    /// record.
+    pub fn engines(&self) -> (&'static str, &'static str) {
+        let name =
+            |g: &Option<autoax_ml::GatherForest>| g.as_ref().map_or("matrix", |g| g.engine());
+        (name(&self.qor_fused), name(&self.hw_fused))
+    }
+
     /// Per-tree prediction variance of the QoR and hardware models over a
     /// genome slab — the refinement loop's epistemic-uncertainty signal.
     /// Runs the compiled arena's stats kernel when the model is fused;

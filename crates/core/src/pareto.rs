@@ -88,6 +88,147 @@ impl<T> ParetoFront<T> {
         true
     }
 
+    /// Batched `ParetoInsert`: processes a whole slab of candidate points
+    /// with one *branch-reduced* dominance scan per candidate over a flat
+    /// SoA mirror of the front, deferring payload materialization to the
+    /// end of the batch.
+    ///
+    /// Semantics are exactly those of calling
+    /// [`ParetoFront::try_insert_with`] for each point of `pts` in order —
+    /// same final members, same order, same acceptance count — but:
+    ///
+    /// * the per-candidate reject test (the overwhelmingly common
+    ///   outcome) is one binary search instead of a front scan: the reject
+    ///   predicate `q.dominates(p) || q == p` collapses to
+    ///   `q.qor >= p.qor && q.cost <= p.cost`, so against a batch-start
+    ///   snapshot of the front sorted by `qor` it reduces to "is the
+    ///   minimal cost among members with `qor >= p.qor` at most
+    ///   `p.cost`" — `partition_point` plus a suffix-min lookup, O(log m).
+    ///   Members evicted mid-batch may legally stay in the snapshot: an
+    ///   evicted member is weakly dominated by its (checked, later)
+    ///   evictor, so it never changes a reject decision. Candidates
+    ///   accepted earlier in the batch are scanned linearly (there are
+    ///   few);
+    /// * eviction (rare: only accepted candidates evict) runs a
+    ///   branchless pass over dense `f64` columns instead of
+    ///   short-circuiting `dominates` calls;
+    /// * eviction only flips a liveness bit — the `Vec` of members is
+    ///   compacted once per batch, not once per candidate;
+    /// * `materialize(i)` runs only for batch indices that are still on
+    ///   the front **after the whole batch**: a candidate accepted
+    ///   mid-batch but evicted by a later batch member never builds its
+    ///   payload at all (with [`ParetoFront::try_insert_with`] it would).
+    ///
+    /// Returns the number of accepted candidates — i.e. how many
+    /// `try_insert_with` calls would have returned `true`, which can
+    /// exceed the number of payloads materialized.
+    pub fn insert_batch_with(
+        &mut self,
+        pts: &[TradeoffPoint],
+        mut materialize: impl FnMut(usize) -> T,
+    ) -> usize {
+        use std::cell::RefCell;
+        thread_local! {
+            #[allow(clippy::type_complexity)]
+            static SCRATCH: RefCell<(
+                Vec<f64>,
+                Vec<f64>,
+                Vec<u8>,
+                Vec<usize>,
+                Vec<f64>,
+                Vec<f64>,
+                Vec<usize>,
+            )> = const {
+                RefCell::new((
+                    Vec::new(),
+                    Vec::new(),
+                    Vec::new(),
+                    Vec::new(),
+                    Vec::new(),
+                    Vec::new(),
+                    Vec::new(),
+                ))
+            };
+        }
+        SCRATCH.with(|s| {
+            let (qs, cs, alive, origin, vq, vc, perm) = &mut *s.borrow_mut();
+            qs.clear();
+            cs.clear();
+            alive.clear();
+            origin.clear();
+            let m0 = self.points.len();
+            qs.extend(self.points.iter().map(|(q, _)| q.qor));
+            cs.extend(self.points.iter().map(|(q, _)| q.cost));
+            alive.resize(m0, 1);
+
+            // Batch-start snapshot sorted by qor ascending (`vq`), with
+            // `vc[k]` = minimal cost over `vq[k..]` (suffix min). Front
+            // members are always finite, so `sort_unstable_by` over
+            // `total_cmp` is a plain numeric sort.
+            vq.clear();
+            vc.clear();
+            vq.extend_from_slice(qs);
+            vc.extend_from_slice(cs);
+            perm.clear();
+            perm.extend(0..m0);
+            perm.sort_unstable_by(|&a, &b| qs[a].total_cmp(&qs[b]));
+            for (k, &src) in perm.iter().enumerate() {
+                vq[k] = qs[src];
+                vc[k] = cs[src];
+            }
+            for k in (0..m0.saturating_sub(1)).rev() {
+                vc[k] = vc[k].min(vc[k + 1]);
+            }
+
+            let mut accepted = 0usize;
+            for (i, p) in pts.iter().enumerate() {
+                if !p.is_finite() {
+                    debug_assert!(p.is_finite(), "non-finite trade-off point {p:?}");
+                    continue;
+                }
+                // Reject: dominated by or identical to any entry. The
+                // snapshot may contain members evicted earlier in this
+                // batch — harmless, because an evicted member is weakly
+                // dominated by its evictor, which is an accepted
+                // candidate scanned below.
+                let k = vq.partition_point(|&q| q < p.qor);
+                let mut rej = (k < m0 && vc[k] <= p.cost) as u8;
+                for k in m0..qs.len() {
+                    rej |= ((qs[k] >= p.qor) as u8) & ((cs[k] <= p.cost) as u8);
+                }
+                if rej != 0 {
+                    continue;
+                }
+                // Evict everything the candidate dominates.
+                for k in 0..qs.len() {
+                    alive[k] &= !(((p.qor >= qs[k]) as u8) & ((p.cost <= cs[k]) as u8));
+                }
+                qs.push(p.qor);
+                cs.push(p.cost);
+                alive.push(1);
+                origin.push(i);
+                accepted += 1;
+            }
+
+            // One compaction for the whole batch: drop dead originals in
+            // place, then append surviving candidates in acceptance order
+            // (matching the sequential append-at-end layout).
+            let mut k = 0;
+            self.points.retain(|_| {
+                let keep = alive[k] != 0;
+                k += 1;
+                keep
+            });
+            for (j, &src) in origin.iter().enumerate() {
+                if alive[m0 + j] != 0 {
+                    let p = TradeoffPoint::new(qs[m0 + j], cs[m0 + j]);
+                    self.points.push((p, materialize(src)));
+                }
+            }
+            accepted
+        })
+    }
+
     /// Number of members.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -749,6 +890,76 @@ mod tests {
             "c"
         }));
         assert!(!ran2);
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_inserts_exactly() {
+        // Many seeds, duplicate-heavy grid streams, varying batch sizes
+        // and non-empty starting fronts: the batched path must reproduce
+        // the sequential path member-for-member, order included.
+        for seed in [1u64, 7, 42, 2019, 77777] {
+            let inputs = grid_stream(seed, 400);
+            for batch in [1usize, 3, 32, 400] {
+                let mut seq: ParetoFront<usize> = ParetoFront::new();
+                let mut bat: ParetoFront<usize> = ParetoFront::new();
+                let mut seq_accepts = 0usize;
+                let mut bat_accepts = 0usize;
+                for (ci, chunk) in inputs.chunks(batch).enumerate() {
+                    for (i, p) in chunk.iter().enumerate() {
+                        if seq.try_insert_with(*p, || ci * batch + i) {
+                            seq_accepts += 1;
+                        }
+                    }
+                    bat_accepts += bat.insert_batch_with(chunk, |i| ci * batch + i);
+                }
+                assert_eq!(
+                    seq_accepts, bat_accepts,
+                    "seed {seed} batch {batch}: acceptance counts differ"
+                );
+                let sm: Vec<(u64, u64, usize)> = seq
+                    .iter()
+                    .map(|(p, t)| (p.qor.to_bits(), p.cost.to_bits(), *t))
+                    .collect();
+                let bm: Vec<(u64, u64, usize)> = bat
+                    .iter()
+                    .map(|(p, t)| (p.qor.to_bits(), p.cost.to_bits(), *t))
+                    .collect();
+                assert_eq!(sm, bm, "seed {seed} batch {batch}: fronts diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_batch_defers_materialization_of_evicted_candidates() {
+        let mut f: ParetoFront<&str> = ParetoFront::new();
+        let mut built = Vec::new();
+        // index 0 is accepted then evicted by index 2; index 1 is
+        // dominated outright. Only index 2 may materialize.
+        let pts = [
+            TradeoffPoint::new(0.5, 5.0),
+            TradeoffPoint::new(0.4, 6.0),
+            TradeoffPoint::new(0.9, 1.0),
+        ];
+        let accepted = f.insert_batch_with(&pts, |i| {
+            built.push(i);
+            "x"
+        });
+        assert_eq!(accepted, 2, "0 and 2 are accepted at their turn");
+        assert_eq!(built, vec![2], "evicted candidate 0 must not materialize");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn insert_batch_skips_non_finite_candidates() {
+        let mut f: ParetoFront<()> = ParetoFront::new();
+        let pts = [
+            TradeoffPoint::new(f64::NAN, 1.0),
+            TradeoffPoint::new(0.9, 10.0),
+            TradeoffPoint::new(0.5, f64::INFINITY),
+        ];
+        assert_eq!(f.insert_batch_with(&pts, |_| ()), 1);
+        assert_eq!(f.len(), 1);
     }
 
     #[test]

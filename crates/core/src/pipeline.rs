@@ -184,10 +184,27 @@ pub struct PipelineTimings {
     /// Name of the [`SearchAlgo`] that produced the pseudo front.
     pub search_strategy: &'static str,
     /// Search estimate throughput: model evaluations per second of wall
-    /// clock (`search.max_evals / search`). Zero for strategies that do
-    /// not spend the eval budget (`uniform`, `exhaustive` — see
-    /// [`SearchAlgo::budgeted`]).
+    /// clock, with the numerator counted at the estimator
+    /// ([`crate::search::SearchTimings::estimates`]) — honest for every
+    /// strategy, including the ones that ignore the eval budget
+    /// (`uniform` estimates its level grid, `exhaustive` the whole
+    /// space).
     pub search_evals_per_sec: f64,
+    /// Candidate rows actually sent through the estimator during Step 3
+    /// (the [`PipelineTimings::search_evals_per_sec`] numerator).
+    pub search_estimates: u64,
+    /// Search time spent generating candidates (summed across worker
+    /// threads; see [`crate::search::SearchTimings`]).
+    pub search_propose: Duration,
+    /// Search time spent in batched model estimation (summed across
+    /// worker threads).
+    pub search_estimate: Duration,
+    /// Search time spent in Pareto-front / selection bookkeeping (summed
+    /// across worker threads).
+    pub search_insert: Duration,
+    /// Node encoding the fused QoR/hardware kernels dispatched to during
+    /// Step 3 (see [`crate::model::ModelEstimator::engines`]).
+    pub search_engines: (&'static str, &'static str),
     /// Real evaluation of the pseudo-Pareto set.
     pub final_eval: Duration,
 }
@@ -460,6 +477,7 @@ pub fn run_pipeline<W: Workload + ?Sized>(
     }
 
     let t3 = Instant::now();
+    let phases_at_t3 = crate::search::SearchTimings::snapshot();
     let search_opts = SearchOptions {
         seed: opts.seed.wrapping_add(2),
         ..opts.search
@@ -530,18 +548,20 @@ pub fn run_pipeline<W: Workload + ?Sized>(
         )
     };
     let t_search = t3.elapsed();
+    let phases = crate::search::SearchTimings::snapshot().since(&phases_at_t3);
+    // Which kernel encodings Step 3 ran on (rebaked from the final
+    // models — cheap, and outside every timed region).
+    let search_engines = ModelEstimator::new(&models, &pre.space, lib).engines();
     // A mid-search cancellation leaves a truncated front; refuse to pass
     // it off as a result.
     if opts.cancel.is_cancelled() {
         return Err(AutoAxError::Cancelled);
     }
-    // Budget-derived throughput is only meaningful for strategies that
-    // actually spend the budget; uniform/exhaustive report 0.
-    let search_evals_per_sec = if opts.search.strategy.budgeted() {
-        opts.search.max_evals as f64 / t_search.as_secs_f64().max(1e-12)
-    } else {
-        0.0
-    };
+    // Throughput over the rows the estimator actually saw — for budgeted
+    // strategies this equals max_evals (plus warm re-estimates under
+    // refinement); uniform and exhaustive get their real denominators
+    // (level grid / space size) instead of the historical hardcoded 0.
+    let search_evals_per_sec = phases.estimates as f64 / t_search.as_secs_f64().max(1e-12);
 
     // Step 3b: real evaluation of the pseudo-Pareto set (capped), final
     // Pareto filtering on real SSIM, area and energy. A warm run builds
@@ -612,6 +632,11 @@ pub fn run_pipeline<W: Workload + ?Sized>(
             search: t_search,
             search_strategy: opts.search.strategy.name(),
             search_evals_per_sec,
+            search_estimates: phases.estimates,
+            search_propose: Duration::from_nanos(phases.propose_ns),
+            search_estimate: Duration::from_nanos(phases.estimate_ns),
+            search_insert: Duration::from_nanos(phases.insert_ns),
+            search_engines,
             final_eval: t_final,
         },
     })

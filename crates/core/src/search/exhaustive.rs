@@ -8,11 +8,23 @@ use crate::config::{ConfigSpace, Configuration, MAX_ENUMERABLE_CONFIGS};
 use crate::job::CancelToken;
 use crate::pareto::{ParetoFront, TradeoffPoint};
 
+/// Rows per enumeration slab. Enumeration has no sequential feedback
+/// (the odometer never looks at an estimate), so unlike the hill climb's
+/// fixed 32-candidate rounds the slab can be as large as cache economics
+/// allow: big slabs amortize the per-call overhead of the fused forest
+/// kernel (dispatch, scratch setup, block fill) over thousands of rows.
+/// Results are bitwise invariant to the slab size — batch estimates equal
+/// per-row estimates and insertion order is the enumeration order — so
+/// this is a pure throughput knob; [`SearchOptions::batch_size`] still
+/// wins when the caller asks for even bigger slices.
+const SLAB: usize = 4096;
+
 /// Full enumeration as a [`SearchStrategy`]: every configuration of the
-/// space, in lexicographic order, estimated in columnar slices (the
+/// space, in lexicographic order, estimated in columnar slabs (the
 /// odometer advances in place — no per-candidate allocation) and
-/// Pareto-filtered. [`SearchOptions::max_evals`] is ignored — the budget
-/// is the space itself.
+/// Pareto-filtered in one batched insert per slab.
+/// [`SearchOptions::max_evals`] is ignored — the budget is the space
+/// itself.
 pub struct ExhaustiveEnumeration;
 
 impl SearchStrategy for ExhaustiveEnumeration {
@@ -34,38 +46,42 @@ impl SearchStrategy for ExhaustiveEnumeration {
         );
         let sizes = space.sizes();
         let stride = space.slot_count();
-        let chunk = opts.batch_size.max(1);
+        let chunk = opts.batch_size.max(SLAB);
         let mut front = ParetoFront::new();
         let mut batch = ConfigBatch::with_capacity(stride, chunk);
         let mut estimates: Vec<TradeoffPoint> = Vec::with_capacity(chunk);
         let mut odometer = vec![0u16; stride];
         let mut done = false;
         while !done && !cancel.is_cancelled() {
-            batch.clear();
-            while batch.len() < chunk && !done {
-                batch.push_genes(&odometer);
-                // advance the odometer (least-significant slot first, as
-                // ConfigSpace::iter_all does)
-                let mut i = 0;
-                loop {
-                    if i == stride {
-                        done = true;
-                        break;
+            {
+                let _t = super::phase::PhaseTimer::start(super::phase::Phase::Propose);
+                batch.clear();
+                while batch.len() < chunk && !done {
+                    batch.push_genes(&odometer);
+                    // advance the odometer (least-significant slot first,
+                    // as ConfigSpace::iter_all does)
+                    let mut i = 0;
+                    loop {
+                        if i == stride {
+                            done = true;
+                            break;
+                        }
+                        odometer[i] += 1;
+                        if (odometer[i] as usize) < sizes[i] {
+                            break;
+                        }
+                        odometer[i] = 0;
+                        i += 1;
                     }
-                    odometer[i] += 1;
-                    if (odometer[i] as usize) < sizes[i] {
-                        break;
-                    }
-                    odometer[i] = 0;
-                    i += 1;
                 }
             }
             estimates.clear();
-            estimator.estimate_slice(batch.as_slice(), &mut estimates);
+            super::estimate_chunked(estimator, &batch, batch.len(), &mut estimates);
             debug_assert_eq!(estimates.len(), batch.len());
-            for (i, &est) in estimates.iter().enumerate() {
-                front.try_insert_with(est, || batch.to_configuration(i));
-            }
+            // Batched offer — identical members and order to replaying
+            // `try_insert_with` per candidate in enumeration order.
+            let _t = super::phase::PhaseTimer::start(super::phase::Phase::Insert);
+            front.insert_batch_with(&estimates, |i| batch.to_configuration(i));
         }
         front
     }

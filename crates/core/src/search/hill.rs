@@ -179,14 +179,18 @@ impl Island {
             // current parent), written straight into the columnar arena:
             // the trajectory is fixed before estimation, which is what
             // makes the batch granularity inert.
-            self.round.clear();
-            for _ in 0..r {
-                space.neighbor_into(&self.parent, self.round.push_row(), &mut self.rng);
+            {
+                let _t = super::phase::PhaseTimer::start(super::phase::Phase::Propose);
+                self.round.clear();
+                for _ in 0..r {
+                    space.neighbor_into(&self.parent, self.round.push_row(), &mut self.rng);
+                }
             }
             self.estimates.clear();
             super::estimate_chunked(estimator, &self.round, opts.batch_size, &mut self.estimates);
             // Replay the round through the sequential Algorithm-1 logic;
             // only accepted candidates materialize a Configuration.
+            let _t = super::phase::PhaseTimer::start(super::phase::Phase::Insert);
             for i in 0..r {
                 let est = self.estimates[i];
                 let genes = self.round.row(i);

@@ -34,6 +34,7 @@ pub mod batch;
 pub mod exhaustive;
 pub mod hill;
 pub mod nsga2;
+pub mod phase;
 pub mod random;
 pub mod uniform;
 
@@ -41,6 +42,7 @@ pub use batch::{ConfigBatch, ConfigSlice};
 pub use exhaustive::{exhaustive_front, ExhaustiveEnumeration};
 pub use hill::{heuristic_pareto, heuristic_pareto_scalar, HillClimb, SearchOptions};
 pub use nsga2::Nsga2;
+pub use phase::SearchTimings;
 pub use random::{random_sampling, RandomSampling};
 pub use uniform::{uniform_selection, UniformSelection};
 
@@ -174,7 +176,11 @@ pub fn reestimate_front(
         return ParetoFront::new();
     }
     let configs: Vec<Configuration> = front.iter().map(|(_, c)| c.clone()).collect();
-    let points = estimator.estimate_batch(&configs);
+    let points = {
+        let _t = phase::PhaseTimer::start(phase::Phase::Estimate);
+        phase::count_estimates(configs.len());
+        estimator.estimate_batch(&configs)
+    };
     let mut out = ParetoFront::new();
     for (p, c) in points.into_iter().zip(configs) {
         out.try_insert(p, c);
@@ -211,9 +217,9 @@ impl SearchAlgo {
 
     /// True for strategies that spend exactly [`SearchOptions::max_evals`]
     /// model estimates. [`SearchAlgo::Uniform`] (level-grid-sized) and
-    /// [`SearchAlgo::Exhaustive`] (space-sized) ignore the budget, so
-    /// budget-derived metrics like the pipeline's `search_evals_per_sec`
-    /// are only meaningful when this is true.
+    /// [`SearchAlgo::Exhaustive`] (space-sized) ignore the budget;
+    /// throughput metrics count actual estimator rows
+    /// ([`SearchTimings::estimates`]) so they stay meaningful either way.
     pub fn budgeted(self) -> bool {
         !matches!(self, SearchAlgo::Uniform | SearchAlgo::Exhaustive)
     }
@@ -331,12 +337,14 @@ pub fn estimate_chunked(
     let n = batch.len();
     let chunk = chunk.max(1);
     let before = out.len();
+    let _t = phase::PhaseTimer::start(phase::Phase::Estimate);
     let mut start = 0;
     while start < n {
         let end = (start + chunk).min(n);
         estimator.estimate_slice(batch.slice(start..end), out);
         start = end;
     }
+    phase::count_estimates(n);
     debug_assert_eq!(out.len() - before, n, "estimator returned wrong count");
 }
 

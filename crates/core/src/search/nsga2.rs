@@ -57,43 +57,78 @@ struct Scratch {
     order: Vec<usize>,
     /// Selected pool indices for the next parent population.
     selected: Vec<usize>,
+    /// Staircase of per-rank minimal second objectives for the 2-D
+    /// non-dominated sweep (non-decreasing across ranks).
+    stairs: Vec<f64>,
 }
 
-/// Non-dominated sorting + crowding over `objs` (minimize both), filling
-/// `rank` and `crowd`. O(n²) domination counting — n is 2·POP.
+impl Scratch {
+    fn with_capacity(cap: usize) -> Self {
+        Scratch {
+            objs: Vec::with_capacity(cap),
+            rank: Vec::with_capacity(cap),
+            crowd: Vec::with_capacity(cap),
+            order: Vec::with_capacity(cap),
+            selected: Vec::with_capacity(cap),
+            stairs: Vec::with_capacity(cap),
+        }
+    }
+}
+
+/// Non-dominated sorting + crowding over `objs` (minimize both; finite —
+/// model estimates always are), filling `rank` and `crowd`.
+///
+/// The canonical front number of a member is the length of the longest
+/// strict-dominance chain ending at it — a property of the point set,
+/// identical for every correct peeling. In two objectives it is
+/// computable in **one lexicographic sweep**: process members sorted by
+/// `(obj0, obj1)`; every earlier member has `obj0 <=` ours, so it
+/// strictly dominates us iff its `obj1 <=` ours and it is not an exact
+/// duplicate. Keeping a staircase `stairs[r]` = minimal `obj1` of the
+/// rank-`r` members seen so far (non-decreasing in `r`: a rank-`r`
+/// member has a rank-`r-1` dominator at most as large in `obj1`), the
+/// rank is the first stair above our `obj1` — one `partition_point`
+/// instead of the classic O(n²) dominance matrix. Exact duplicates are
+/// processed as one run so they share a rank instead of dominating each
+/// other. No per-generation allocation once the arenas reach pool size.
 fn rank_and_crowd(s: &mut Scratch) {
     let n = s.objs.len();
     s.rank.clear();
     s.rank.resize(n, usize::MAX);
     s.crowd.clear();
     s.crowd.resize(n, 0.0);
-    let dominates =
-        |a: (f64, f64), b: (f64, f64)| a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1);
-    // Peel fronts: each pass collects the members not dominated by any
-    // still-unranked member, then assigns them all at once (so the scan
-    // never observes a half-built front). Pool sizes here are ≤ 2·POP,
-    // so the quadratic scan is cheaper than the bookkeeping of Deb's
-    // linked-list variant.
-    let mut assigned = 0;
+    s.order.clear();
+    s.order.extend(0..n);
+    {
+        let objs = &s.objs;
+        s.order.sort_by(|&a, &b| {
+            objs[a]
+                .0
+                .total_cmp(&objs[b].0)
+                .then_with(|| objs[a].1.total_cmp(&objs[b].1))
+        });
+    }
+    s.stairs.clear();
     let mut current = 0;
-    while assigned < n {
-        s.order.clear();
-        for i in 0..n {
-            if s.rank[i] != usize::MAX {
-                continue;
-            }
-            let dominated = (0..n)
-                .any(|j| j != i && s.rank[j] == usize::MAX && dominates(s.objs[j], s.objs[i]));
-            if !dominated {
-                s.order.push(i);
-            }
+    let mut i = 0;
+    while i < n {
+        let p = s.objs[s.order[i]];
+        // run of exact duplicates: same dominators, one shared rank
+        let mut j = i + 1;
+        while j < n && s.objs[s.order[j]] == p {
+            j += 1;
         }
-        debug_assert!(!s.order.is_empty(), "front peel made no progress");
-        for &i in &s.order {
-            s.rank[i] = current;
-            assigned += 1;
+        let r = s.stairs.partition_point(|&y| y <= p.1);
+        if r == s.stairs.len() {
+            s.stairs.push(p.1);
+        } else {
+            s.stairs[r] = p.1; // partition guarantees stairs[r] > p.1
         }
-        current += 1;
+        for &k in &s.order[i..j] {
+            s.rank[k] = r;
+        }
+        current = current.max(r + 1);
+        i = j;
     }
     // Crowding distance within each front, per objective.
     for front in 0..current {
@@ -171,18 +206,13 @@ impl Nsga2 {
         let mut off_pts: Vec<TradeoffPoint> = Vec::with_capacity(pop);
         let mut next = ConfigBatch::with_capacity(stride, pop);
         let mut next_pts: Vec<TradeoffPoint> = Vec::with_capacity(pop);
-        let mut s = Scratch {
-            objs: Vec::with_capacity(2 * pop),
-            rank: Vec::with_capacity(2 * pop),
-            crowd: Vec::with_capacity(2 * pop),
-            order: Vec::with_capacity(2 * pop),
-            selected: Vec::with_capacity(pop),
-        };
+        let mut s = Scratch::with_capacity(2 * pop);
         let pm = 1.0 / stride as f64;
 
         while evals < opts.max_evals && !cancel.is_cancelled() {
             let r = pop.min(opts.max_evals - evals);
             // Rank the current parents for tournament selection.
+            let propose_t = super::phase::PhaseTimer::start(super::phase::Phase::Propose);
             s.objs.clear();
             s.objs.extend(par_pts.iter().map(|p| (-p.qor, p.cost)));
             rank_and_crowd(&mut s);
@@ -214,12 +244,14 @@ impl Nsga2 {
                     }
                 }
             }
+            drop(propose_t);
             off_pts.clear();
             super::estimate_chunked(estimator, &offspring, chunk, &mut off_pts);
             offer_all(&mut global, &offspring, &off_pts);
             evals += r;
 
             // Environmental selection over parents ∪ offspring.
+            let _select_t = super::phase::PhaseTimer::start(super::phase::Phase::Insert);
             s.objs.clear();
             s.objs.extend(par_pts.iter().map(|p| (-p.qor, p.cost)));
             s.objs.extend(off_pts.iter().map(|p| (-p.qor, p.cost)));
@@ -283,12 +315,12 @@ impl SearchStrategy for Nsga2 {
     }
 }
 
-/// Offers every estimated candidate to the global front (insertion order
-/// = batch order; configurations materialize only on acceptance).
+/// Offers every estimated candidate to the global front in one batched
+/// insert (insertion order = batch order; configurations materialize only
+/// for candidates still on the front after the whole slab).
 fn offer_all(global: &mut ParetoFront<Configuration>, batch: &ConfigBatch, pts: &[TradeoffPoint]) {
-    for (i, &p) in pts.iter().enumerate() {
-        global.try_insert_with(p, || batch.to_configuration(i));
-    }
+    let _t = crate::search::phase::PhaseTimer::start(crate::search::phase::Phase::Insert);
+    global.insert_batch_with(pts, |i| batch.to_configuration(i));
 }
 
 #[cfg(test)]
@@ -408,13 +440,9 @@ mod tests {
 
     #[test]
     fn rank_and_crowd_hand_checked() {
-        let mut s = Scratch {
-            objs: vec![(0.0, 3.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)],
-            rank: Vec::new(),
-            crowd: Vec::new(),
-            order: Vec::new(),
-            selected: Vec::new(),
-        };
+        let mut s = Scratch::with_capacity(4);
+        s.objs
+            .extend([(0.0, 3.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
         rank_and_crowd(&mut s);
         // (0,3) and (1,1) are mutually non-dominated: rank 0.
         // (2,2) is dominated by (1,1): rank 1. (3,3) by both: rank 1 too
@@ -422,5 +450,51 @@ mod tests {
         assert_eq!(s.rank, vec![0, 0, 1, 2]);
         // two-member fronts get infinite crowding
         assert!(s.crowd[0].is_infinite() && s.crowd[1].is_infinite());
+    }
+
+    #[test]
+    fn fast_sort_matches_reference_front_peeling() {
+        // Oracle: the straightforward peel (repeatedly extract the
+        // non-dominated members of the unranked remainder). The fast
+        // bitset sort must assign identical canonical ranks — ties,
+        // duplicates and long dominance chains included.
+        let dominates =
+            |a: (f64, f64), b: (f64, f64)| a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1);
+        let reference_ranks = |objs: &[(f64, f64)]| -> Vec<usize> {
+            let n = objs.len();
+            let mut rank = vec![usize::MAX; n];
+            let mut assigned = 0;
+            let mut current = 0;
+            while assigned < n {
+                let front: Vec<usize> = (0..n)
+                    .filter(|&i| rank[i] == usize::MAX)
+                    .filter(|&i| {
+                        !(0..n)
+                            .any(|j| j != i && rank[j] == usize::MAX && dominates(objs[j], objs[i]))
+                    })
+                    .collect();
+                for &i in &front {
+                    rank[i] = current;
+                    assigned += 1;
+                }
+                current += 1;
+            }
+            rank
+        };
+        let mut st = 2019u64;
+        let mut next = |m: u64| {
+            st = st
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((st >> 33) % m) as f64
+        };
+        for n in [1usize, 2, 7, 64, 65, 128, 150] {
+            // coarse grid => plenty of duplicates and single-axis ties
+            let objs: Vec<(f64, f64)> = (0..n).map(|_| (next(9), next(9))).collect();
+            let mut s = Scratch::with_capacity(n);
+            s.objs.extend(objs.iter().copied());
+            rank_and_crowd(&mut s);
+            assert_eq!(s.rank, reference_ranks(&objs), "n={n}");
+        }
     }
 }

@@ -40,16 +40,20 @@ impl SearchStrategy for RandomSampling {
         let mut remaining = opts.max_evals;
         while remaining > 0 && !cancel.is_cancelled() {
             let r = chunk.min(remaining);
-            batch.clear();
-            for _ in 0..r {
-                space.random_into(batch.push_row(), &mut rng);
+            {
+                let _t = super::phase::PhaseTimer::start(super::phase::Phase::Propose);
+                batch.clear();
+                for _ in 0..r {
+                    space.random_into(batch.push_row(), &mut rng);
+                }
             }
             estimates.clear();
-            estimator.estimate_slice(batch.as_slice(), &mut estimates);
+            super::estimate_chunked(estimator, &batch, r, &mut estimates);
             debug_assert_eq!(estimates.len(), r, "estimator returned wrong batch size");
-            for (i, &est) in estimates.iter().enumerate() {
-                front.try_insert_with(est, || batch.to_configuration(i));
-            }
+            // Batched offer — identical members and order to replaying
+            // `try_insert_with` per candidate.
+            let _t = super::phase::PhaseTimer::start(super::phase::Phase::Insert);
+            front.insert_batch_with(&estimates, |i| batch.to_configuration(i));
             remaining -= r;
         }
         front

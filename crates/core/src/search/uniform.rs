@@ -37,10 +37,15 @@ impl SearchStrategy for UniformSelection {
             return ParetoFront::new();
         }
         let levels = opts.uniform_levels.max(2).min(opts.max_evals.max(2));
-        let configs = uniform_selection(space, levels);
-        let batch = ConfigBatch::from_configs(&configs);
+        let (configs, batch) = {
+            let _t = super::phase::PhaseTimer::start(super::phase::Phase::Propose);
+            let configs = uniform_selection(space, levels);
+            let batch = ConfigBatch::from_configs(&configs);
+            (configs, batch)
+        };
         let mut estimates: Vec<TradeoffPoint> = Vec::with_capacity(batch.len());
         super::estimate_chunked(estimator, &batch, opts.batch_size, &mut estimates);
+        let _t = super::phase::PhaseTimer::start(super::phase::Phase::Insert);
         configs
             .into_iter()
             .zip(estimates)

@@ -19,6 +19,19 @@
 //! explicit thread count, which the determinism tests use to avoid racing
 //! on the process environment.
 //!
+//! ## Execution substrate
+//!
+//! All data-parallel primitives run their chunks as a *burst* on one
+//! process-wide persistent worker pool ([`fork`]), so a search performing
+//! thousands of parallel rounds pays for thread spawns once, not per
+//! round. The thread-count parameter keeps its exact old meaning — it
+//! fixes the chunk boundaries (and hence the results, byte-for-byte) and
+//! bounds the parallelism of the burst; it does not resize the pool's
+//! worker set, which grows lazily to the largest burst seen. The same
+//! pool serves island search, library characterization and the searches
+//! spawned by `autoax-serve` jobs (whose connection handling still uses
+//! the queue-of-closures [`WorkerPool`]).
+//!
 //! # Example
 //!
 //! ```
@@ -29,9 +42,13 @@
 //! assert_eq!(squares, autoax_exec::par_map_with(1, &inputs, |&x| x * x));
 //! ```
 
+pub mod fork;
 pub mod pool;
 
+pub use fork::pool_workers;
 pub use pool::{SubmitError, WorkerPool};
+
+use fork::Slots;
 
 /// Environment variable overriding the default worker-thread count.
 pub const THREADS_ENV: &str = "AUTOAX_THREADS";
@@ -106,19 +123,15 @@ where
     let chunk = items.len().div_ceil(threads.min(items.len()));
     let mut results: Vec<Option<Vec<U>>> = Vec::new();
     results.resize_with(items.len().div_ceil(chunk), || None);
-    std::thread::scope(|scope| {
+    {
+        let slots = Slots::new(&mut results);
         let f = &f;
-        let mut handles = Vec::new();
-        for (ci, part) in items.chunks(chunk).enumerate() {
-            handles.push((
-                ci,
-                scope.spawn(move || part.iter().map(f).collect::<Vec<U>>()),
-            ));
-        }
-        for (ci, h) in handles {
-            results[ci] = Some(h.join().expect("par_map worker panicked"));
-        }
-    });
+        fork::run_burst(items.len().div_ceil(chunk), |ci| {
+            let part = &items[ci * chunk..(ci * chunk + chunk).min(items.len())];
+            let out = part.iter().map(f).collect::<Vec<U>>();
+            unsafe { slots.put(ci, Some(out)) };
+        });
+    }
     results.into_iter().flatten().flatten().collect()
 }
 
@@ -160,21 +173,17 @@ where
     let span = blocks.div_ceil(threads.min(blocks));
     let mut results: Vec<Option<Vec<U>>> = Vec::new();
     results.resize_with(blocks.div_ceil(span), || None);
-    std::thread::scope(|scope| {
+    {
+        let slots = Slots::new(&mut results);
         let f = &f;
         let range_of = &range_of;
-        let mut handles = Vec::new();
-        for (ci, lo) in (0..blocks).step_by(span).enumerate() {
+        fork::run_burst(blocks.div_ceil(span), |ci| {
+            let lo = ci * span;
             let hi = (lo + span).min(blocks);
-            handles.push((
-                ci,
-                scope.spawn(move || (lo..hi).map(range_of).map(f).collect::<Vec<U>>()),
-            ));
-        }
-        for (ci, h) in handles {
-            results[ci] = Some(h.join().expect("par_map_range worker panicked"));
-        }
-    });
+            let out = (lo..hi).map(range_of).map(f).collect::<Vec<U>>();
+            unsafe { slots.put(ci, Some(out)) };
+        });
+    }
     results.into_iter().flatten().flatten().collect()
 }
 
@@ -203,21 +212,19 @@ where
         }
         parts.push(part);
     }
+    let mut parts: Vec<Option<Vec<T>>> = parts.into_iter().map(Some).collect();
     let mut results: Vec<Option<Vec<U>>> = Vec::new();
     results.resize_with(parts.len(), || None);
-    std::thread::scope(|scope| {
+    {
+        let part_slots = Slots::new(&mut parts);
+        let slots = Slots::new(&mut results);
         let f = &f;
-        let mut handles = Vec::new();
-        for (ci, part) in parts.into_iter().enumerate() {
-            handles.push((
-                ci,
-                scope.spawn(move || part.into_iter().map(f).collect::<Vec<U>>()),
-            ));
-        }
-        for (ci, h) in handles {
-            results[ci] = Some(h.join().expect("par_map_owned worker panicked"));
-        }
-    });
+        fork::run_burst(results.len(), |ci| {
+            let part = unsafe { part_slots.take(ci) }.expect("owned chunk claimed twice");
+            let out = part.into_iter().map(f).collect::<Vec<U>>();
+            unsafe { slots.put(ci, Some(out)) };
+        });
+    }
     results.into_iter().flatten().flatten().collect()
 }
 
@@ -356,6 +363,25 @@ mod tests {
         // Coarse-grained threshold: two items are enough to fan out.
         let got = map_reduce_with(4, &[10u64, 32], |&x| x, |a, b| a + b);
         assert_eq!(got, Some(42));
+    }
+
+    #[test]
+    fn pooled_primitives_grow_one_shared_worker_set() {
+        // Repeated bursts reuse pool threads: after a warm-up round the
+        // worker count stays put no matter how many more calls follow.
+        let items: Vec<u64> = (0..256).collect();
+        let _ = par_map_with(4, &items, |x| x + 1);
+        let after_first = pool_workers();
+        assert!(after_first >= 1, "burst must have grown the pool");
+        for _ in 0..50 {
+            let _ = par_map_with(4, &items, |x| x + 1);
+            let _ = par_map_range_with(4, 256, 8, |r| r.len());
+            let _ = par_map_owned_with(4, items.clone(), |x| x * 2);
+        }
+        assert!(
+            pool_workers() <= after_first.max(3),
+            "same-width bursts must not spawn new workers per call"
+        );
     }
 
     #[test]

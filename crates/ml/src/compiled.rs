@@ -278,6 +278,54 @@ impl CompiledForest {
         let mask_mode = slot_members.iter().all(|&m| m <= 64 || m == u32::MAX)
             && self.feature.len() < (1 << 24)
             && stride < (1 << 16);
+        // Quantized-rank mode is the universal fallback when some slot
+        // exceeds the 64-gene mask budget: every feature table is rank-
+        // compressed so the hot compare is u16-vs-u16 on the genome slab,
+        // no float feature gather at all. See `QuantNode` for the exact-
+        // equivalence argument.
+        let quant_mode = !mask_mode
+            && stride < (1 << 16)
+            && layout.values.iter().all(|t| t.len() <= u16::MAX as usize);
+        let mut ranks = Vec::new();
+        let mut ranks32 = Vec::new();
+        let mut quants = Vec::new();
+        if quant_mode {
+            ranks.resize(values.len(), 0u16);
+            for (f, table) in layout.values.iter().enumerate() {
+                let off = offsets[f] as usize;
+                // Argsort with NaNs (either sign) last: members of the
+                // `v <= t` set then occupy exactly the ranks below
+                // `count(v <= t)` for every threshold `t`, duplicates and
+                // signed zeros included.
+                let mut order: Vec<u32> = (0..table.len() as u32).collect();
+                order.sort_by(|&a, &b| {
+                    let (va, vb) = (table[a as usize], table[b as usize]);
+                    va.is_nan()
+                        .cmp(&vb.is_nan())
+                        .then(va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal))
+                });
+                for (pos, &g) in order.iter().enumerate() {
+                    ranks[off + g as usize] = pos as u16;
+                }
+            }
+            ranks32 = ranks.iter().map(|&r| r as u32).collect();
+            quants = (0..self.feature.len())
+                .map(|i| {
+                    let f = self.feature[i] as usize;
+                    let t = self.threshold[i];
+                    // Leaves carry a NaN threshold: `v <= NaN` never
+                    // holds, so their count is 0 and `rank < 0` is always
+                    // false — the self-loop still never steps left.
+                    let thresh = layout.values[f].iter().filter(|&&v| v <= t).count() as u64;
+                    QuantNode {
+                        key: offsets[f] as u64
+                            | (thresh << 32)
+                            | ((layout.slot_of[f] as u64) << 48),
+                        children: ((self.right[i] as u64) << 32) | self.left[i] as u64,
+                    }
+                })
+                .collect();
+        }
         let masks = if mask_mode {
             (0..self.feature.len())
                 .map(|i| {
@@ -298,6 +346,41 @@ impl CompiledForest {
         } else {
             Vec::new()
         };
+        // The ≤32-member refinement of mask mode: 8-byte records with
+        // root-relative 13-bit children. Falls back to the 16-byte masks
+        // when a slot, the stride, or a tree span exceeds the packed
+        // field widths — paper-scale spaces (≤ 32 members/slot, trees of
+        // a few thousand nodes) always qualify.
+        let masks32 = 'm32: {
+            if !mask_mode || stride > 64 || !slot_members.iter().all(|&m| m <= 32 || m == u32::MAX)
+            {
+                break 'm32 Vec::new();
+            }
+            let n = self.feature.len() as u32;
+            let mut out = Vec::with_capacity(n as usize);
+            for (ti, &root) in self.roots.iter().enumerate() {
+                let end = self.roots.get(ti + 1).copied().unwrap_or(n);
+                if end - root > (1 << 13) {
+                    break 'm32 Vec::new(); // tree too deep for 13-bit rel
+                }
+                for i in root..end {
+                    let i = i as usize;
+                    let f = self.feature[i] as usize;
+                    let t = self.threshold[i];
+                    let mut mask = 0u32;
+                    for (g, &v) in layout.values[f].iter().enumerate().take(32) {
+                        mask |= ((v <= t) as u32) << g;
+                    }
+                    out.push(Mask32Node {
+                        mask,
+                        meta: (self.right[i] - root)
+                            | ((self.left[i] - root) << 13)
+                            | (layout.slot_of[f] << 26),
+                    });
+                }
+            }
+            out
+        };
         Ok(GatherForest {
             nodes: (0..self.feature.len())
                 .map(|i| {
@@ -310,6 +393,10 @@ impl CompiledForest {
                 })
                 .collect(),
             masks,
+            masks32,
+            quants,
+            ranks,
+            ranks32,
             leaf: self.leaf.clone(),
             roots: self.roots.clone(),
             depths: self.depths.clone(),
@@ -391,6 +478,50 @@ struct MaskNode {
     meta: u64,
 }
 
+/// One 32-bit mask-mode traversal node: when additionally every slot
+/// has ≤ 32 members, every tree spans ≤ 8192 nodes and the genome
+/// stride is ≤ 64, the [`MaskNode`] record halves to 8 bytes — the
+/// comparison mask fits a `u32` and the children are stored
+/// *root-relative* in 13 bits each (`next = root + rel`; leaves carry
+/// their own offset on both sides, preserving the self-loop). Eight
+/// records per cache line, and — the real win — the whole record is a
+/// single 64-bit gather lane, so the SIMD kernel runs 8 rows per
+/// vector on 32-bit lanes instead of 4 on 64-bit lanes, halving the
+/// gather count per row on gather-bound cores.
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+struct Mask32Node {
+    /// Bit `g` = `table[g] <= threshold` (0 everywhere for leaves,
+    /// since `x <= NaN` never holds).
+    mask: u32,
+    /// Bits 0..13 root-relative right child, 13..26 root-relative left
+    /// child (self for leaves), 26..32 the genome slot read here.
+    meta: u32,
+}
+
+/// One quantized-rank traversal node: the universal extension of the
+/// ≤ 64-member [`MaskNode`] trick. At bake time every feature table is
+/// stably argsorted and each gene `g` is assigned its sorted position
+/// `rank[g]` (`u16`); the node stores `thresh_rank = |{v : v <= t}|`.
+/// Because the `v <= t` members occupy exactly the sorted positions
+/// `0..thresh_rank` (duplicates share a contiguous run that is entirely
+/// in or entirely out; NaN table entries sort last and never compare
+/// `<= t`), the float step `values[off+g] <= t` is **exactly**
+/// `rank[off+g] < thresh_rank` — a u16-vs-u16 compare on the genome
+/// slab with no float feature gather, reaching the same leaves and
+/// therefore producing bit-identical predictions. 16 bytes per node,
+/// same layout discipline as [`MaskNode`].
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+struct QuantNode {
+    /// Bits 0..32 rank-slab base offset, 32..48 the threshold rank
+    /// (0 for leaves — `rank < 0` never holds), 48..64 the genome slot.
+    key: u64,
+    /// Left child in the low 32 bits, right child in the high 32 (self
+    /// for leaves).
+    children: u64,
+}
+
 /// A [`CompiledForest`] with the estimator's per-slot feature tables
 /// baked into the node records: node `i` resolves its split value as
 /// `values[off(i) + genome[slot(i)]]`, fusing the feature gather into
@@ -401,8 +532,21 @@ pub struct GatherForest {
     nodes: Vec<PackedNode>,
     /// Mask-mode records (empty when some slot exceeds 64 members and
     /// the precomputed-comparison encoding cannot hold it; the kernels
-    /// then run on `nodes`). Same node order as `nodes`, same bits out.
+    /// then run on `quants` or `nodes`). Same node order, same bits out.
     masks: Vec<MaskNode>,
+    /// 8-byte mask records (built when every slot has ≤ 32 members,
+    /// stride ≤ 64 and every tree fits 13-bit root-relative children;
+    /// empty otherwise — the kernels then run on `masks`). Same node
+    /// order, same bits out.
+    masks32: Vec<Mask32Node>,
+    /// Quantized-rank records (built when mask mode is unavailable but
+    /// every table fits u16 ranks; empty otherwise). Same node order as
+    /// `nodes`, bit-identical predictions.
+    quants: Vec<QuantNode>,
+    /// Per-gene sorted ranks, parallel to `values` (quant mode only).
+    ranks: Vec<u16>,
+    /// `ranks` widened to u32 for 32-bit SIMD gathers.
+    ranks32: Vec<u32>,
     /// Leaf value per node (0 for splits — read once per row and tree).
     leaf: Vec<f64>,
     roots: Vec<u32>,
@@ -433,22 +577,48 @@ impl GatherForest {
     /// both indicate a genome from a different configuration space.
     pub fn predict_genomes_into(&self, genes: &[u16], out: &mut Vec<f64>) {
         self.check_genes(genes);
+        let mask32 = !self.masks32.is_empty() && mask32_enabled();
+        let quant = !self.quants.is_empty() && quant_enabled();
         #[cfg(target_arch = "x86_64")]
         if simd_enabled() && std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 confirmed at runtime; gene bounds checked above.
             unsafe {
-                if self.masks.is_empty() {
-                    self.predict_avx2(genes, out);
-                } else {
+                if mask32 {
+                    self.predict_mask32_avx2(genes, out);
+                } else if !self.masks.is_empty() {
                     self.predict_mask_avx2(genes, out);
+                } else if quant {
+                    self.predict_quant_avx2(genes, out);
+                } else {
+                    self.predict_avx2(genes, out);
                 }
             }
             return;
         }
-        if self.masks.is_empty() {
-            self.predict_scalar(genes, out);
-        } else {
+        if mask32 {
+            self.predict_mask32_scalar(genes, out);
+        } else if !self.masks.is_empty() {
             self.predict_mask_scalar(genes, out);
+        } else if quant {
+            self.predict_quant_scalar(genes, out);
+        } else {
+            self.predict_scalar(genes, out);
+        }
+    }
+
+    /// Which node encoding [`GatherForest::predict_genomes_into`] runs on:
+    /// `"mask32"` (every slot ≤ 32 members, 8-byte records), `"mask"`
+    /// (every slot ≤ 64 members), `"quant"` (u16 rank compare) or
+    /// `"gather"` (float value gather). Observability for benches/tests.
+    pub fn engine(&self) -> &'static str {
+        if !self.masks32.is_empty() && mask32_enabled() {
+            "mask32"
+        } else if !self.masks.is_empty() {
+            "mask"
+        } else if !self.quants.is_empty() && quant_enabled() {
+            "quant"
+        } else {
+            "gather"
         }
     }
 
@@ -624,6 +794,203 @@ impl GatherForest {
         }
     }
 
+    /// The 32-bit mask-mode portable kernel: identical step semantics to
+    /// [`GatherForest::predict_mask_scalar`] on records half the size —
+    /// `(mask >> gene) & 1`, then `next = root + rel` where the 13-bit
+    /// relative child is selected arithmetically out of `meta`. Bitwise
+    /// identical because the masks encode the same precomputed
+    /// comparisons and the relative children resolve to the same nodes.
+    fn predict_mask32_scalar(&self, genes: &[u16], out: &mut Vec<f64>) {
+        let n = genes.len() / self.stride;
+        out.clear();
+        out.resize(n, 0.0);
+        let mut idx = [0u32; BLOCK];
+        for (b, chunk) in out.chunks_mut(BLOCK).enumerate() {
+            let rows = &genes[b * BLOCK * self.stride..];
+            let len = chunk.len();
+            for (ti, &root) in self.roots.iter().enumerate() {
+                idx[..len].fill(root);
+                for _ in 0..self.depths[ti] {
+                    let mut changed = 0u32;
+                    for (k, at) in idx[..len].iter_mut().enumerate() {
+                        let nd = &self.masks32[*at as usize];
+                        let g = rows[k * self.stride + (nd.meta >> 26) as usize];
+                        let b = (nd.mask >> g) & 1;
+                        // shift 13 selects the left field when the bit
+                        // is set, 0 the right field otherwise
+                        let next = root + ((nd.meta >> (13 & b.wrapping_neg())) & 0x1FFF);
+                        changed |= next ^ *at;
+                        *at = next;
+                    }
+                    if changed == 0 {
+                        break; // whole block settled on leaves
+                    }
+                }
+                for (k, acc) in chunk.iter_mut().enumerate() {
+                    *acc += self.leaf[idx[k] as usize];
+                }
+            }
+        }
+        for v in out.iter_mut() {
+            *v /= self.divisor;
+        }
+    }
+
+    /// The quantized-rank portable kernel: a step gathers one `u16` rank
+    /// and compares it against the node's 16-bit threshold rank — no
+    /// float load, no float compare. Bitwise identical to
+    /// [`GatherForest::predict_scalar`] because the rank order IS the
+    /// value order (see [`QuantNode`]).
+    fn predict_quant_scalar(&self, genes: &[u16], out: &mut Vec<f64>) {
+        let n = genes.len() / self.stride;
+        out.clear();
+        out.resize(n, 0.0);
+        let mut idx = [0u32; BLOCK];
+        for (b, chunk) in out.chunks_mut(BLOCK).enumerate() {
+            let rows = &genes[b * BLOCK * self.stride..];
+            let len = chunk.len();
+            for (ti, &root) in self.roots.iter().enumerate() {
+                idx[..len].fill(root);
+                for _ in 0..self.depths[ti] {
+                    let mut changed = 0u32;
+                    for (k, at) in idx[..len].iter_mut().enumerate() {
+                        let nd = &self.quants[*at as usize];
+                        let g = rows[k * self.stride + (nd.key >> 48) as usize] as u64;
+                        let r = self.ranks[((nd.key & 0xFFFF_FFFF) + g) as usize];
+                        let b = ((r as u64) < ((nd.key >> 32) & 0xFFFF)) as u64;
+                        let next = (nd.children >> (32 & b.wrapping_sub(1))) as u32;
+                        changed |= next ^ *at;
+                        *at = next;
+                    }
+                    if changed == 0 {
+                        break; // whole block settled on leaves
+                    }
+                }
+                for (k, acc) in chunk.iter_mut().enumerate() {
+                    *acc += self.leaf[idx[k] as usize];
+                }
+            }
+        }
+        for v in out.iter_mut() {
+            *v /= self.divisor;
+        }
+    }
+
+    /// Quantized-rank AVX2 kernel: two 16-byte record gathers
+    /// (`key`/`children`), the gene gather, and one 32-bit rank gather per
+    /// step; the compare is an integer `vpcmpgtq` against the threshold
+    /// rank, so — like the mask kernel — the float unit stays idle and no
+    /// 8-byte value table is touched.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available, `genes` passed
+    /// [`GatherForest::check_genes`], and `quants` is non-empty.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn predict_quant_avx2(&self, genes: &[u16], out: &mut Vec<f64>) {
+        use std::arch::x86_64::*;
+        let n = genes.len() / self.stride;
+        out.clear();
+        out.resize(n, 0.0);
+        GENES32.with(|cell| {
+            let mut genes32 = cell.take();
+            for (b, chunk) in out.chunks_mut(BLOCK).enumerate() {
+                let rows = &genes[b * BLOCK * self.stride..];
+                genes32.clear();
+                genes32.extend(rows[..chunk.len() * self.stride].iter().map(|&g| g as u32));
+                let groups = chunk.len() / 4;
+                let stride = self.stride as i64;
+                let node_base = self.quants.as_ptr() as *const i64;
+                let lo32 = _mm256_set1_epi64x(0xFFFF_FFFF);
+                let m16 = _mm256_set1_epi64x(0xFFFF);
+                for (ti, &root) in self.roots.iter().enumerate() {
+                    let mut idx = [_mm256_set1_epi64x(root as i64); BLOCK / 4];
+                    // settled groups stop gathering (self-loops only)
+                    let mut done = [false; BLOCK / 4];
+                    for _ in 0..self.depths[ti] {
+                        let mut unsettled = 0i32;
+                        for (gi, cur) in idx[..groups].iter_mut().enumerate() {
+                            if done[gi] {
+                                continue;
+                            }
+                            let base = (gi * 4) as i64 * stride;
+                            let row_base = _mm256_set_epi64x(
+                                base + 3 * stride,
+                                base + 2 * stride,
+                                base + stride,
+                                base,
+                            );
+                            // 16-byte records: field f of node i is the
+                            // 64-bit word at 2*i + f
+                            let n2 = _mm256_slli_epi64::<1>(*cur);
+                            let key = _mm256_i64gather_epi64::<8>(node_base, n2);
+                            let children = _mm256_i64gather_epi64::<8>(node_base.add(1), n2);
+                            let slot = _mm256_srli_epi64::<48>(key);
+                            let gpos = _mm256_add_epi64(row_base, slot);
+                            let gene =
+                                _mm256_i64gather_epi32::<4>(genes32.as_ptr() as *const i32, gpos);
+                            let rpos = _mm256_add_epi64(
+                                _mm256_and_si256(key, lo32),
+                                _mm256_cvtepu32_epi64(gene),
+                            );
+                            let rank = _mm256_i64gather_epi32::<4>(
+                                self.ranks32.as_ptr() as *const i32,
+                                rpos,
+                            );
+                            let thresh = _mm256_and_si256(_mm256_srli_epi64::<32>(key), m16);
+                            // both operands < 2^16, so signed compare is safe
+                            let go_left = _mm256_cmpgt_epi64(thresh, _mm256_cvtepu32_epi64(rank));
+                            let l = _mm256_and_si256(children, lo32);
+                            let r = _mm256_srli_epi64::<32>(children);
+                            let next = _mm256_castpd_si256(_mm256_blendv_pd(
+                                _mm256_castsi256_pd(r),
+                                _mm256_castsi256_pd(l),
+                                _mm256_castsi256_pd(go_left),
+                            ));
+                            let settled = _mm256_cmpeq_epi64(next, *cur);
+                            let sm = _mm256_movemask_epi8(settled);
+                            done[gi] = sm == -1;
+                            unsettled |= sm ^ -1;
+                            *cur = next;
+                        }
+                        if unsettled == 0 {
+                            break; // whole block settled on leaves
+                        }
+                    }
+                    for (gi, cur) in idx[..groups].iter().enumerate() {
+                        let leaves = _mm256_i64gather_pd::<8>(self.leaf.as_ptr(), *cur);
+                        let acc = _mm256_loadu_pd(chunk.as_ptr().add(gi * 4));
+                        _mm256_storeu_pd(
+                            chunk.as_mut_ptr().add(gi * 4),
+                            _mm256_add_pd(acc, leaves),
+                        );
+                    }
+                    // scalar tail: same ops, same bits
+                    for k in groups * 4..chunk.len() {
+                        let row = &rows[k * self.stride..(k + 1) * self.stride];
+                        let mut at = root;
+                        for _ in 0..self.depths[ti] {
+                            let nd = &self.quants[at as usize];
+                            let g = row[(nd.key >> 48) as usize] as u64;
+                            let r = self.ranks[((nd.key & 0xFFFF_FFFF) + g) as usize];
+                            let b = ((r as u64) < ((nd.key >> 32) & 0xFFFF)) as u64;
+                            let next = (nd.children >> (32 & b.wrapping_sub(1))) as u32;
+                            if next == at {
+                                break;
+                            }
+                            at = next;
+                        }
+                        chunk[k] += self.leaf[at as usize];
+                    }
+                }
+            }
+            cell.replace(genes32);
+        });
+        for v in out.iter_mut() {
+            *v /= self.divisor;
+        }
+    }
+
     /// Mask-mode AVX2 kernel: per step and 4-lane group, two record
     /// gathers (`mask`/`meta`) plus the gene gather — the comparison is an
     /// integer shift-and-test (`vpsrlvq`), so the float unit is idle and a
@@ -653,9 +1020,14 @@ impl GatherForest {
                 let m24 = _mm256_set1_epi64x(0xFF_FFFF);
                 for (ti, &root) in self.roots.iter().enumerate() {
                     let mut idx = [_mm256_set1_epi64x(root as i64); BLOCK / 4];
+                    // settled groups stop gathering (self-loops only)
+                    let mut done = [false; BLOCK / 4];
                     for _ in 0..self.depths[ti] {
                         let mut unsettled = 0i32;
                         for (gi, cur) in idx[..groups].iter_mut().enumerate() {
+                            if done[gi] {
+                                continue;
+                            }
                             let base = (gi * 4) as i64 * stride;
                             let row_base = _mm256_set_epi64x(
                                 base + 3 * stride,
@@ -685,7 +1057,9 @@ impl GatherForest {
                                 _mm256_castsi256_pd(go_left),
                             ));
                             let settled = _mm256_cmpeq_epi64(next, *cur);
-                            unsettled |= _mm256_movemask_epi8(settled) ^ -1;
+                            let sm = _mm256_movemask_epi8(settled);
+                            done[gi] = sm == -1;
+                            unsettled |= sm ^ -1;
                             *cur = next;
                         }
                         if unsettled == 0 {
@@ -709,6 +1083,144 @@ impl GatherForest {
                             let g = row[(nd.meta >> 48) as usize];
                             let b = (nd.mask >> g) & 1;
                             let next = ((nd.meta >> (24 & b.wrapping_sub(1))) & 0xFF_FFFF) as u32;
+                            if next == at {
+                                break;
+                            }
+                            at = next;
+                        }
+                        chunk[k] += self.leaf[at as usize];
+                    }
+                }
+            }
+            cell.replace(genes32);
+        });
+        for v in out.iter_mut() {
+            *v /= self.divisor;
+        }
+    }
+
+    /// 32-bit mask-mode AVX2 kernel: **eight** rows per vector on
+    /// `epi32` lanes. A step needs two half-width record gathers (each
+    /// 8-byte node is one 64-bit gather lane) plus the gene gather — 3
+    /// gathers per 8 rows, where the 16-byte mask kernel spends 3 per 4
+    /// rows, halving gather issue (the binding resource of traversal on
+    /// gather-weak cores). The children are root-relative 13-bit fields
+    /// selected with `vpblendvb` and re-based by one `vpaddd`; every
+    /// lane performs exactly the scalar step, so bits match.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available, `genes` passed
+    /// [`GatherForest::check_genes`], and `masks32` is non-empty.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn predict_mask32_avx2(&self, genes: &[u16], out: &mut Vec<f64>) {
+        use std::arch::x86_64::*;
+        let n = genes.len() / self.stride;
+        out.clear();
+        out.resize(n, 0.0);
+        GENES32.with(|cell| {
+            let mut genes32 = cell.take();
+            for (b, chunk) in out.chunks_mut(BLOCK).enumerate() {
+                let rows = &genes[b * BLOCK * self.stride..];
+                genes32.clear();
+                genes32.extend(rows[..chunk.len() * self.stride].iter().map(|&g| g as u32));
+                let groups = chunk.len() / 8;
+                let stride = self.stride as i32;
+                let node_base = self.masks32.as_ptr() as *const i64;
+                let one = _mm256_set1_epi32(1);
+                let m13 = _mm256_set1_epi32(0x1FFF);
+                let lane = _mm256_mullo_epi32(
+                    _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+                    _mm256_set1_epi32(stride),
+                );
+                for (ti, &root) in self.roots.iter().enumerate() {
+                    let root8 = _mm256_set1_epi32(root as i32);
+                    let mut idx = [root8; BLOCK / 8];
+                    // Per-group settle tracking: a group whose eight lanes
+                    // all reached leaves stops gathering while straggler
+                    // groups keep walking — settled lanes only self-loop,
+                    // so skipping them cannot change any bit.
+                    let mut done = [false; BLOCK / 8];
+                    for _ in 0..self.depths[ti] {
+                        let mut unsettled = 0i32;
+                        for (gi, cur) in idx[..groups].iter_mut().enumerate() {
+                            if done[gi] {
+                                continue;
+                            }
+                            let row_base =
+                                _mm256_add_epi32(_mm256_set1_epi32((gi * 8) as i32 * stride), lane);
+                            // 8-byte records: node i IS 64-bit word i.
+                            // Two half-gathers fetch all eight records...
+                            let lo = _mm256_i32gather_epi64::<8>(
+                                node_base,
+                                _mm256_castsi256_si128(*cur),
+                            );
+                            let hi = _mm256_i32gather_epi64::<8>(
+                                node_base,
+                                _mm256_extracti128_si256::<1>(*cur),
+                            );
+                            // ...then mask (low 32 of each record) and
+                            // meta (high 32) deinterleave back into lane
+                            // order: shuffle_ps picks the even/odd 32-bit
+                            // words per 128-bit half, permute4x64
+                            // (0,2,1,3) undoes the half interleave.
+                            let even = _mm256_castps_si256(_mm256_shuffle_ps::<0b10_00_10_00>(
+                                _mm256_castsi256_ps(lo),
+                                _mm256_castsi256_ps(hi),
+                            ));
+                            let odd = _mm256_castps_si256(_mm256_shuffle_ps::<0b11_01_11_01>(
+                                _mm256_castsi256_ps(lo),
+                                _mm256_castsi256_ps(hi),
+                            ));
+                            let masks = _mm256_permute4x64_epi64::<0b11_01_10_00>(even);
+                            let metas = _mm256_permute4x64_epi64::<0b11_01_10_00>(odd);
+                            let slot = _mm256_srli_epi32::<26>(metas);
+                            let gpos = _mm256_add_epi32(row_base, slot);
+                            let gene =
+                                _mm256_i32gather_epi32::<4>(genes32.as_ptr() as *const i32, gpos);
+                            // gene < 32 (the ≤32-member bake guarantee),
+                            // so the variable shift never saturates
+                            let bit = _mm256_and_si256(_mm256_srlv_epi32(masks, gene), one);
+                            let go_left = _mm256_cmpeq_epi32(bit, one);
+                            let l = _mm256_and_si256(_mm256_srli_epi32::<13>(metas), m13);
+                            let r = _mm256_and_si256(metas, m13);
+                            // go_left is lane-uniform, so the byte blend
+                            // is a 32-bit select
+                            let rel = _mm256_blendv_epi8(r, l, go_left);
+                            let next = _mm256_add_epi32(root8, rel);
+                            let settled = _mm256_cmpeq_epi32(next, *cur);
+                            let sm = _mm256_movemask_epi8(settled);
+                            done[gi] = sm == -1;
+                            unsettled |= sm ^ -1;
+                            *cur = next;
+                        }
+                        if unsettled == 0 {
+                            break; // whole block settled on leaves
+                        }
+                    }
+                    for (gi, cur) in idx[..groups].iter().enumerate() {
+                        let leaves_lo = _mm256_i32gather_pd::<8>(
+                            self.leaf.as_ptr(),
+                            _mm256_castsi256_si128(*cur),
+                        );
+                        let leaves_hi = _mm256_i32gather_pd::<8>(
+                            self.leaf.as_ptr(),
+                            _mm256_extracti128_si256::<1>(*cur),
+                        );
+                        let p = chunk.as_mut_ptr().add(gi * 8);
+                        _mm256_storeu_pd(p, _mm256_add_pd(_mm256_loadu_pd(p), leaves_lo));
+                        let p = p.add(4);
+                        _mm256_storeu_pd(p, _mm256_add_pd(_mm256_loadu_pd(p), leaves_hi));
+                    }
+                    // scalar tail: same ops, same bits
+                    for k in groups * 8..chunk.len() {
+                        let row = &rows[k * self.stride..(k + 1) * self.stride];
+                        let mut at = root;
+                        for _ in 0..self.depths[ti] {
+                            let nd = &self.masks32[at as usize];
+                            let g = row[(nd.meta >> 26) as usize];
+                            let b = (nd.mask >> g) & 1;
+                            let next = root + ((nd.meta >> (13 & b.wrapping_neg())) & 0x1FFF);
                             if next == at {
                                 break;
                             }
@@ -756,11 +1268,16 @@ impl GatherForest {
                     // groups are independent and overlap in flight
                     // (gather latency is hidden by breadth, not lanes).
                     let mut idx = [_mm256_set1_epi64x(root as i64); BLOCK / 4];
+                    // settled groups stop gathering (self-loops only)
+                    let mut done = [false; BLOCK / 4];
                     let node_base = self.nodes.as_ptr() as *const f64;
                     let lo32 = _mm256_set1_epi64x(0xFFFF_FFFF);
                     for _ in 0..self.depths[ti] {
                         let mut unsettled = 0i32;
                         for (gi, cur) in idx[..groups].iter_mut().enumerate() {
+                            if done[gi] {
+                                continue;
+                            }
                             let base = (gi * 4) as i64 * stride;
                             let row_base = _mm256_set_epi64x(
                                 base + 3 * stride,
@@ -794,7 +1311,9 @@ impl GatherForest {
                                 go_left,
                             ));
                             let settled = _mm256_cmpeq_epi64(next, *cur);
-                            unsettled |= _mm256_movemask_epi8(settled) ^ -1;
+                            let sm = _mm256_movemask_epi8(settled);
+                            done[gi] = sm == -1;
+                            unsettled |= sm ^ -1;
                             *cur = next;
                         }
                         if unsettled == 0 {
@@ -849,6 +1368,24 @@ thread_local! {
 fn simd_enabled() -> bool {
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *ON.get_or_init(|| std::env::var("AUTOAX_FOREST_SIMD").map_or(true, |v| v.trim() != "0"))
+}
+
+/// Whether the quantized-rank kernels are allowed
+/// (`AUTOAX_FOREST_QUANT=0` forces the float value-gather kernels — an
+/// A/B measurement escape hatch; both paths are bit-identical). Read
+/// once per process.
+fn quant_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("AUTOAX_FOREST_QUANT").map_or(true, |v| v.trim() != "0"))
+}
+
+/// Whether the 8-byte/8-lane mask32 kernels are allowed
+/// (`AUTOAX_FOREST_MASK32=0` falls back to the 16-byte mask kernels —
+/// an A/B measurement escape hatch; both paths are bit-identical).
+/// Read once per process.
+fn mask32_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("AUTOAX_FOREST_MASK32").map_or(true, |v| v.trim() != "0"))
 }
 
 /// FNV-1a 64 running hash.
@@ -1073,6 +1610,172 @@ mod tests {
     }
 
     #[test]
+    fn quantized_kernel_engages_for_wide_slots_and_matches_bitwise() {
+        // Slots above the 64-member mask budget must bake the quantized
+        // rank encoding and predict identically to both the float scalar
+        // oracle and the source forest's pointer walk.
+        let mut st = 29u64;
+        let members = 90;
+        let layout = random_layout(4, 2, members, &mut st);
+        let train: Vec<u16> = (0..160 * 4)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let xt = materialize(&layout, &train);
+        let y: Vec<f64> = xt.rows_iter().map(|r| r.iter().sum()).collect();
+        let mut f = RandomForest::new(5).with_trees(11);
+        f.fit(&xt, &y).unwrap();
+        let gf = CompiledForest::from_forest(&f)
+            .unwrap()
+            .bake_gather(&layout)
+            .unwrap();
+        assert!(gf.masks.is_empty(), "90-member slots must disable masks");
+        assert!(!gf.quants.is_empty(), "quant encoding must engage");
+        assert_eq!(gf.engine(), "quant");
+        let genes: Vec<u16> = (0..133 * 4)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let x = materialize(&layout, &genes);
+        let mut quant = Vec::new();
+        gf.predict_genomes_into(&genes, &mut quant);
+        let mut float_oracle = Vec::new();
+        gf.predict_genomes_scalar_into(&genes, &mut float_oracle);
+        let mut quant_scalar = Vec::new();
+        gf.check_genes(&genes);
+        gf.predict_quant_scalar(&genes, &mut quant_scalar);
+        for (i, row) in x.rows_iter().enumerate() {
+            let want = f.predict_row(row).to_bits();
+            assert_eq!(quant[i].to_bits(), want, "quant row {i}");
+            assert_eq!(float_oracle[i].to_bits(), want, "float row {i}");
+            assert_eq!(quant_scalar[i].to_bits(), want, "quant scalar row {i}");
+        }
+    }
+
+    #[test]
+    fn quantized_ranks_handle_duplicate_table_values_exactly() {
+        // Coarse value grid: many exact duplicates inside each table, so
+        // split thresholds routinely land ON a duplicated value. The rank
+        // compare must classify the whole duplicate run as one side.
+        let mut st = 91u64;
+        let members = 80;
+        let stride = 3;
+        let n_feats = stride * 2;
+        let layout = GatherLayout {
+            stride,
+            slot_of: (0..n_feats).map(|f| (f as u32) / 2).collect(),
+            values: (0..n_feats)
+                .map(|_| {
+                    (0..members)
+                        .map(|_| ((lcg(&mut st) * 5.0).floor()) / 5.0)
+                        .collect()
+                })
+                .collect(),
+        };
+        let train: Vec<u16> = (0..140 * stride)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let xt = materialize(&layout, &train);
+        let y: Vec<f64> = xt
+            .rows_iter()
+            .map(|r| r.iter().enumerate().map(|(j, v)| v * (j + 1) as f64).sum())
+            .collect();
+        let mut f = RandomForest::new(17).with_trees(7);
+        f.fit(&xt, &y).unwrap();
+        let gf = CompiledForest::from_forest(&f)
+            .unwrap()
+            .bake_gather(&layout)
+            .unwrap();
+        assert_eq!(gf.engine(), "quant");
+        let genes: Vec<u16> = (0..101 * stride)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let mut quant = Vec::new();
+        gf.predict_genomes_into(&genes, &mut quant);
+        let mut float_oracle = Vec::new();
+        gf.predict_genomes_scalar_into(&genes, &mut float_oracle);
+        for i in 0..quant.len() {
+            assert_eq!(quant[i].to_bits(), float_oracle[i].to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn mask32_kernel_engages_for_narrow_slots_and_matches_bitwise() {
+        // ≤ 32 members per slot: the 8-byte record encoding must engage
+        // and every kernel (dispatched, mask32 scalar, mask64 scalar,
+        // float scalar) must reproduce the pointer walk bit for bit.
+        let mut st = 41u64;
+        let members = 13; // paper-scale slot width (quick Sobel: ≤ 13)
+        let stride = 5;
+        let layout = random_layout(stride, 2, members, &mut st);
+        let train: Vec<u16> = (0..150 * stride)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let xt = materialize(&layout, &train);
+        let y: Vec<f64> = xt.rows_iter().map(|r| r.iter().sum()).collect();
+        let mut f = RandomForest::new(7).with_trees(13);
+        f.fit(&xt, &y).unwrap();
+        let gf = CompiledForest::from_forest(&f)
+            .unwrap()
+            .bake_gather(&layout)
+            .unwrap();
+        assert!(!gf.masks32.is_empty(), "mask32 encoding must engage");
+        assert!(!gf.masks.is_empty(), "mask64 fallback records still built");
+        assert_eq!(gf.engine(), "mask32");
+        let genes: Vec<u16> = (0..131 * stride)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let x = materialize(&layout, &genes);
+        let mut dispatched = Vec::new();
+        gf.predict_genomes_into(&genes, &mut dispatched);
+        let mut float_oracle = Vec::new();
+        gf.predict_genomes_scalar_into(&genes, &mut float_oracle);
+        gf.check_genes(&genes);
+        let mut m32 = Vec::new();
+        gf.predict_mask32_scalar(&genes, &mut m32);
+        let mut m64 = Vec::new();
+        gf.predict_mask_scalar(&genes, &mut m64);
+        for (i, row) in x.rows_iter().enumerate() {
+            let want = f.predict_row(row).to_bits();
+            assert_eq!(dispatched[i].to_bits(), want, "dispatched row {i}");
+            assert_eq!(float_oracle[i].to_bits(), want, "float row {i}");
+            assert_eq!(m32[i].to_bits(), want, "mask32 scalar row {i}");
+            assert_eq!(m64[i].to_bits(), want, "mask64 scalar row {i}");
+        }
+    }
+
+    #[test]
+    fn mid_width_slots_use_mask64_records_bitwise() {
+        // 33..=64 members: beyond the u32 mask but within the u64 one —
+        // masks32 must stay empty and the 16-byte mask kernel carries
+        // the prediction, still matching the pointer walk exactly.
+        let mut st = 59u64;
+        let members = 40;
+        let layout = random_layout(3, 2, members, &mut st);
+        let train: Vec<u16> = (0..130 * 3)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let xt = materialize(&layout, &train);
+        let y: Vec<f64> = xt.rows_iter().map(|r| r.iter().sum()).collect();
+        let mut f = RandomForest::new(23).with_trees(9);
+        f.fit(&xt, &y).unwrap();
+        let gf = CompiledForest::from_forest(&f)
+            .unwrap()
+            .bake_gather(&layout)
+            .unwrap();
+        assert!(gf.masks32.is_empty(), "40-member slots must disable mask32");
+        assert!(!gf.masks.is_empty(), "mask64 must still engage");
+        assert_eq!(gf.engine(), "mask");
+        let genes: Vec<u16> = (0..97 * 3)
+            .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+            .collect();
+        let x = materialize(&layout, &genes);
+        let mut fused = Vec::new();
+        gf.predict_genomes_into(&genes, &mut fused);
+        for (i, row) in x.rows_iter().enumerate() {
+            assert_eq!(fused[i].to_bits(), f.predict_row(row).to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "out of range for slot")]
     fn out_of_range_gene_panics() {
         let mut st = 1u64;
@@ -1192,6 +1895,110 @@ mod tests {
                 prop_assert_eq!(m_out[i].to_bits(), want);
                 prop_assert_eq!(fused[i].to_bits(), want);
                 prop_assert_eq!(scalar[i].to_bits(), want);
+            }
+        }
+
+        /// The quantized-rank kernels (scalar and, where available, AVX2)
+        /// are bitwise identical to the float-compare kernels and the
+        /// pointer walk across slot widths beyond the mask budget, random
+        /// forests and batch sizes — including batches straddling the
+        /// traversal block and SIMD lane-group tails.
+        #[test]
+        fn quantized_kernels_match_float_compare_bitwise(
+            seed in 0u64..1000,
+            trees in 1usize..10,
+            depth in 1usize..10,
+            stride in 1usize..5,
+            members in 65usize..140,
+            batch in 1usize..150,
+        ) {
+            let mut st = seed.wrapping_mul(0x9E3779B9).wrapping_add(7);
+            let layout = random_layout(stride, 2, members, &mut st);
+            let train: Vec<u16> = (0..80 * stride)
+                .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+                .collect();
+            let xt = materialize(&layout, &train);
+            let y: Vec<f64> = xt
+                .rows_iter()
+                .map(|r| r.iter().enumerate().map(|(j, v)| v * ((j % 2) as f64 + 1.0)).sum())
+                .collect();
+            let mut f = RandomForest::new(seed).with_trees(trees);
+            f.tree_config.max_depth = depth;
+            f.fit(&xt, &y).unwrap();
+            let gf = CompiledForest::from_forest(&f)
+                .unwrap()
+                .bake_gather(&layout)
+                .unwrap();
+            prop_assert!(gf.masks.is_empty());
+            prop_assert!(!gf.quants.is_empty());
+            let genes: Vec<u16> = (0..batch * stride)
+                .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+                .collect();
+            let mut dispatched = Vec::new();
+            gf.predict_genomes_into(&genes, &mut dispatched);
+            let mut float_oracle = Vec::new();
+            gf.predict_genomes_scalar_into(&genes, &mut float_oracle);
+            let mut quant_scalar = Vec::new();
+            gf.check_genes(&genes);
+            gf.predict_quant_scalar(&genes, &mut quant_scalar);
+            let x = materialize(&layout, &genes);
+            for (i, row) in x.rows_iter().enumerate() {
+                let want = f.predict_row(row).to_bits();
+                prop_assert_eq!(dispatched[i].to_bits(), want);
+                prop_assert_eq!(float_oracle[i].to_bits(), want);
+                prop_assert_eq!(quant_scalar[i].to_bits(), want);
+            }
+        }
+
+        /// The 8-byte mask32 kernels (scalar and, where available, AVX2
+        /// 8-lane) are bitwise identical to the 16-byte mask kernels and
+        /// the pointer walk across every slot width inside the u32 mask
+        /// budget, random forests and batch sizes — including batches
+        /// straddling the traversal block and the 8-lane group tails.
+        #[test]
+        fn mask32_kernels_match_mask64_and_pointer_walk(
+            seed in 0u64..1000,
+            trees in 1usize..10,
+            depth in 1usize..10,
+            stride in 1usize..6,
+            members in 2usize..33,
+            batch in 1usize..150,
+        ) {
+            let mut st = seed.wrapping_mul(0x85EB_CA6B).wrapping_add(3);
+            let layout = random_layout(stride, 2, members, &mut st);
+            let train: Vec<u16> = (0..80 * stride)
+                .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+                .collect();
+            let xt = materialize(&layout, &train);
+            let y: Vec<f64> = xt
+                .rows_iter()
+                .map(|r| r.iter().enumerate().map(|(j, v)| v * ((j % 2) as f64 + 1.0)).sum())
+                .collect();
+            let mut f = RandomForest::new(seed).with_trees(trees);
+            f.tree_config.max_depth = depth;
+            f.fit(&xt, &y).unwrap();
+            let gf = CompiledForest::from_forest(&f)
+                .unwrap()
+                .bake_gather(&layout)
+                .unwrap();
+            prop_assert!(!gf.masks32.is_empty());
+            prop_assert!(!gf.masks.is_empty());
+            let genes: Vec<u16> = (0..batch * stride)
+                .map(|_| (lcg(&mut st) * members as f64) as u16 % members as u16)
+                .collect();
+            let mut dispatched = Vec::new();
+            gf.predict_genomes_into(&genes, &mut dispatched);
+            gf.check_genes(&genes);
+            let mut m32 = Vec::new();
+            gf.predict_mask32_scalar(&genes, &mut m32);
+            let mut m64 = Vec::new();
+            gf.predict_mask_scalar(&genes, &mut m64);
+            let x = materialize(&layout, &genes);
+            for (i, row) in x.rows_iter().enumerate() {
+                let want = f.predict_row(row).to_bits();
+                prop_assert_eq!(dispatched[i].to_bits(), want);
+                prop_assert_eq!(m32[i].to_bits(), want);
+                prop_assert_eq!(m64[i].to_bits(), want);
             }
         }
     }

@@ -79,6 +79,32 @@ fn off_schedule_reproduces_the_pinned_quickstart_digest() {
 }
 
 #[test]
+fn pinned_quickstart_digest_is_stable_across_worker_pool_widths() {
+    // The persistent worker pool, the fused/quantized forest kernels and
+    // the batched Pareto insertion are all pure throughput machinery:
+    // the pinned quickstart digest must not move at any pool width.
+    // Widths are set through `SearchOptions::threads` (not the env var)
+    // so the three runs cannot race each other's configuration.
+    let (accel, lib, images) = quickstart_setup();
+    for threads in [1usize, 2, 8] {
+        let mut opts = PipelineOptions::quick();
+        opts.search.threads = threads;
+        opts.search.refine = RefinementSchedule::off();
+        let res = run_pipeline(&accel, &lib, &images, &opts).expect("pipeline");
+        assert_eq!(
+            (res.pseudo_front.len(), res.final_front.len()),
+            (65, 14),
+            "front sizes drifted at threads={threads}"
+        );
+        assert_eq!(
+            res.front_digest(),
+            0x252e_0c00_c843_33a4,
+            "quickstart digest moved at threads={threads}"
+        );
+    }
+}
+
+#[test]
 fn refined_run_is_byte_identical_across_threads_and_batch_sizes() {
     let (accel, lib, images) = small_setup();
     let run = |threads: usize, batch_size: usize| {
