@@ -132,6 +132,10 @@ fn strategy_json(label: &str, r: &Run) -> (String, Json) {
 }
 
 fn main() {
+    // The throughput floors must hold *with the metrics registry
+    // subscribed* — a hot loop that only meets its floor when telemetry
+    // is compiled out would make the no-op-by-default claim vacuous.
+    autoax_telemetry::set_metrics(true);
     let scale = Scale::from_args();
     let min_evals: Option<f64> = num_arg("assert-evals");
     let min_ratio: Option<f64> = num_arg("assert-ratio");

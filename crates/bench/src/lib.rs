@@ -71,7 +71,7 @@ impl Scale {
                     "paper" => Scale::Paper,
                     "default" => Scale::Default,
                     other => {
-                        eprintln!("unknown scale `{other}`, using default");
+                        autoax_telemetry::ax_warn!("unknown scale `{other}`, using default");
                         Scale::Default
                     }
                 };

@@ -26,9 +26,10 @@ use autoax_accel::Workload;
 use autoax_circuit::charlib::ComponentLibrary;
 use autoax_ml::EngineKind;
 use autoax_store::cache::{BlobStore, CacheMode, Loaded, Store};
+use autoax_telemetry as telemetry;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// All pipeline knobs, preset-constructible for the paper's scenarios.
 #[derive(Debug, Clone)]
@@ -307,6 +308,11 @@ pub fn run_pipeline<W: Workload + ?Sized>(
     if opts.cancel.is_cancelled() {
         return Err(AutoAxError::Cancelled);
     }
+    // Root span: covers the whole run (cache, Steps 1-3b). The stage
+    // spans below *feed* the `PipelineTimings` fields via their measured
+    // durations instead of keeping a parallel set of `Instant` pairs.
+    let mut sp_run = telemetry::span("pipeline.run");
+    sp_run.field("strategy", opts.search.strategy.name());
     // Cache lookup: Steps 1–2 are a pure function of the key's inputs.
     // A shared store (service tier) takes precedence over the per-run
     // directory store.
@@ -330,13 +336,13 @@ pub fn run_pipeline<W: Workload + ?Sized>(
     let mut warm: Option<(Preprocessed, FidelityReport, FittedModels)> = None;
     if let Some((store, key)) = &cache {
         if opts.cache_mode.reads() {
-            let t = Instant::now();
+            let sp = telemetry::span("pipeline.cache.load_step12");
             if let Loaded::Hit(payload) = store.load_blob(STEP12_KIND, *key, STEP12_TAG) {
                 warm = decode_step12(&payload)
                     .ok()
                     .filter(|(pre, _, _)| step12_matches_library(pre, lib));
             }
-            t_cache_load = t.elapsed();
+            t_cache_load = sp.finish();
         }
     }
     let cache_enabled = cache.is_some() && opts.cache_mode.reads();
@@ -382,12 +388,14 @@ pub fn run_pipeline<W: Workload + ?Sized>(
             t_fit = Duration::ZERO;
         }
         None => {
-            // Step 1: library pre-processing (profiling timed separately).
-            let t0 = Instant::now();
+            // Step 1: library pre-processing (profiling timed separately,
+            // nested inside the step span).
+            let sp_step1 = telemetry::span("pipeline.step1.preprocess");
+            let sp_profile = telemetry::span("pipeline.step1.profile");
             let pmfs = work.profile(samples);
-            t_profile = t0.elapsed();
+            t_profile = sp_profile.finish();
             pre = preprocess_with_pmfs(work, lib, pmfs, &opts.preprocess)?;
-            t_pre = t0.elapsed();
+            t_pre = sp_step1.finish();
             // Fail fast before the expensive training evaluations.
             exhaustive_guard(pre.space.size())?;
 
@@ -396,7 +404,8 @@ pub fn run_pipeline<W: Workload + ?Sized>(
             }
 
             // Step 2: model construction.
-            let t1 = Instant::now();
+            let _sp_step2 = telemetry::span("pipeline.step2");
+            let sp_td = telemetry::span("pipeline.step2.training_data");
             let evaluator = step2_evaluator.insert(Evaluator::new(work, lib, &pre.space, samples));
             let train =
                 EvaluatedSet::try_generate(evaluator, &pre.space, opts.train_configs, opts.seed)?;
@@ -406,11 +415,11 @@ pub fn run_pipeline<W: Workload + ?Sized>(
                 opts.test_configs,
                 opts.seed.wrapping_add(1),
             )?;
-            t_train_data = t1.elapsed();
-            let t2 = Instant::now();
+            t_train_data = sp_td.finish();
+            let sp_fit = telemetry::span("pipeline.step2.fit");
             models = fit_models(opts.engine, &pre.space, lib, &train, opts.seed)?;
             fidelity = fidelity_report(&models, &pre.space, lib, &train, &test)?;
-            t_fit = t2.elapsed();
+            t_fit = sp_fit.finish();
 
             // Persist for the next run (best-effort: an unsupported engine
             // or a failed write degrades to "no cache", never to an error).
@@ -452,7 +461,7 @@ pub fn run_pipeline<W: Workload + ?Sized>(
     };
     if let Some((store, rkey)) = &refined_cache {
         if opts.cache_mode.reads() {
-            let t = Instant::now();
+            let sp = telemetry::span("pipeline.cache.load_refined");
             if let Loaded::Hit(payload) = store.load_blob(REFINED_KIND, *rkey, REFINED_TAG) {
                 // genomes of a (pathologically colliding) entry must
                 // still index inside the live reduced space
@@ -467,7 +476,7 @@ pub fn run_pipeline<W: Workload + ?Sized>(
                     })
                 });
             }
-            t_cache_load += t.elapsed();
+            t_cache_load += sp.finish();
             if refined_warm.is_some() {
                 cache_hits += 1;
             } else {
@@ -476,7 +485,9 @@ pub fn run_pipeline<W: Workload + ?Sized>(
         }
     }
 
-    let t3 = Instant::now();
+    let mut sp_search = telemetry::span("pipeline.step3.search");
+    sp_search.field("strategy", opts.search.strategy.name());
+    sp_search.field("refine", refine_on);
     let phases_at_t3 = crate::search::SearchTimings::snapshot();
     let search_opts = SearchOptions {
         seed: opts.seed.wrapping_add(2),
@@ -547,7 +558,7 @@ pub fn run_pipeline<W: Workload + ?Sized>(
             None,
         )
     };
-    let t_search = t3.elapsed();
+    let t_search = sp_search.finish();
     let phases = crate::search::SearchTimings::snapshot().since(&phases_at_t3);
     // Which kernel encodings Step 3 ran on (rebaked from the final
     // models — cheap, and outside every timed region).
@@ -566,7 +577,7 @@ pub fn run_pipeline<W: Workload + ?Sized>(
     // Step 3b: real evaluation of the pseudo-Pareto set (capped), final
     // Pareto filtering on real SSIM, area and energy. A warm run builds
     // its evaluator here (the cold run reuses the Step-2 one).
-    let t4 = Instant::now();
+    let sp_final = telemetry::span("pipeline.step3b.final_eval");
     let evaluator = match step2_evaluator {
         Some(ev) => ev,
         None => Evaluator::new(work, lib, &pre.space, samples),
@@ -609,7 +620,16 @@ pub fn run_pipeline<W: Workload + ?Sized>(
             energy,
         })
         .collect();
-    let t_final = t4.elapsed();
+    let t_final = sp_final.finish();
+
+    // Registry-side run accounting (one relaxed load when unsubscribed).
+    if telemetry::metrics_enabled() {
+        telemetry::counter("autoax_pipeline_runs_total").inc();
+        telemetry::counter("autoax_pipeline_cache_hits_total").add(cache_hits as u64);
+        telemetry::counter("autoax_pipeline_cache_misses_total").add(cache_misses as u64);
+        telemetry::histogram("autoax_pipeline_search_ns").record(t_search.as_nanos() as u64);
+        telemetry::histogram("autoax_pipeline_run_ns").record(sp_run.elapsed().as_nanos() as u64);
+    }
 
     Ok(PipelineResult {
         preprocessed: pre,

@@ -44,6 +44,8 @@ impl SearchStrategy for ExhaustiveEnumeration {
             "space too large for exhaustive enumeration ({:.2e})",
             space.size()
         );
+        let mut sp = autoax_telemetry::span("search.exhaustive");
+        sp.field("space", space.size());
         let sizes = space.sizes();
         let stride = space.slot_count();
         let chunk = opts.batch_size.max(SLAB);

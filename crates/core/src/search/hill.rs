@@ -325,6 +325,8 @@ impl SearchStrategy for HillClimb {
         opts: &SearchOptions,
         cancel: &CancelToken,
     ) -> ParetoFront<Configuration> {
+        let mut sp = autoax_telemetry::span("search.hill");
+        sp.field("max_evals", opts.max_evals);
         self.run_islands(space, estimator, opts, cancel, &ParetoFront::new())
     }
 
@@ -336,6 +338,8 @@ impl SearchStrategy for HillClimb {
         cancel: &CancelToken,
         warm: &ParetoFront<Configuration>,
     ) -> ParetoFront<Configuration> {
+        let mut sp = autoax_telemetry::span("search.hill.epoch");
+        sp.field("warm", warm.len());
         let warm = super::reestimate_front(estimator, warm);
         self.run_islands(space, estimator, opts, cancel, &warm)
     }

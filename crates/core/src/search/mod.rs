@@ -49,6 +49,7 @@ pub use uniform::{uniform_selection, UniformSelection};
 use crate::config::{ConfigSpace, Configuration};
 use crate::job::CancelToken;
 use crate::pareto::{ParetoFront, TradeoffPoint};
+use autoax_telemetry::ax_warn;
 
 /// An estimation oracle mapping a configuration to `(QoR, cost)` — in the
 /// pipeline this is a pair of fitted models, in tests a closed form.
@@ -249,8 +250,9 @@ impl SearchAlgo {
     }
 
     /// Parses `--strategy <name>` / `--strategy=<name>` from argv-style
-    /// args. Unknown names and a missing value warn to stderr and fall
-    /// back to `None` (caller keeps its default).
+    /// args. Unknown names and a missing value warn through the leveled
+    /// logger (`AUTOAX_LOG=warn`) and fall back to `None` (caller keeps
+    /// its default).
     pub fn from_args(args: &[String]) -> Option<SearchAlgo> {
         for (i, a) in args.iter().enumerate() {
             let v = if let Some(rest) = a.strip_prefix("--strategy=") {
@@ -258,7 +260,7 @@ impl SearchAlgo {
             } else if a == "--strategy" {
                 let next = args.get(i + 1).cloned();
                 if next.is_none() {
-                    eprintln!("--strategy needs a value, keeping default");
+                    ax_warn!("--strategy needs a value, keeping default");
                     return None;
                 }
                 next
@@ -269,7 +271,7 @@ impl SearchAlgo {
                 match SearchAlgo::parse(&v) {
                     Some(algo) => return Some(algo),
                     None => {
-                        eprintln!(
+                        ax_warn!(
                             "unknown search strategy `{v}` (expected one of {}), keeping default",
                             SearchAlgo::ALL.map(|a| a.name()).join("|")
                         );

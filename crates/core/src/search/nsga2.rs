@@ -299,6 +299,8 @@ impl SearchStrategy for Nsga2 {
         opts: &super::SearchOptions,
         cancel: &CancelToken,
     ) -> ParetoFront<Configuration> {
+        let mut sp = autoax_telemetry::span("search.nsga2");
+        sp.field("max_evals", opts.max_evals);
         self.run(space, estimator, opts, cancel, &ParetoFront::new())
     }
 
@@ -310,6 +312,8 @@ impl SearchStrategy for Nsga2 {
         cancel: &CancelToken,
         warm: &ParetoFront<Configuration>,
     ) -> ParetoFront<Configuration> {
+        let mut sp = autoax_telemetry::span("search.nsga2.epoch");
+        sp.field("warm", warm.len());
         let warm = super::reestimate_front(estimator, warm);
         self.run(space, estimator, opts, cancel, &warm)
     }

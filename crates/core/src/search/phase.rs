@@ -33,13 +33,37 @@
 //! [`super::SearchOptions::max_evals`] (uniform's level grid, exhaustive's
 //! full enumeration).
 
+use autoax_telemetry as telemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 static PROPOSE_NS: AtomicU64 = AtomicU64::new(0);
 static ESTIMATE_NS: AtomicU64 = AtomicU64::new(0);
 static INSERT_NS: AtomicU64 = AtomicU64::new(0);
 static ESTIMATES: AtomicU64 = AtomicU64::new(0);
+
+/// Registry-side mirror of the phase counters: per-phase round-duration
+/// histograms plus the estimated-rows counter. Bridged from the same
+/// [`PhaseTimer`] drops that feed [`SearchTimings`], so every strategy is
+/// covered without extra call sites; when the registry is unsubscribed
+/// the bridge costs one relaxed load per phase per round.
+struct PhaseMetrics {
+    round_ns: [telemetry::Histogram; 3],
+    estimates: telemetry::Counter,
+}
+
+fn phase_metrics() -> &'static PhaseMetrics {
+    static M: OnceLock<PhaseMetrics> = OnceLock::new();
+    M.get_or_init(|| PhaseMetrics {
+        round_ns: [
+            telemetry::histogram_with("autoax_search_phase_round_ns", &[("phase", "propose")]),
+            telemetry::histogram_with("autoax_search_phase_round_ns", &[("phase", "estimate")]),
+            telemetry::histogram_with("autoax_search_phase_round_ns", &[("phase", "insert")]),
+        ],
+        estimates: telemetry::counter("autoax_search_estimates_total"),
+    })
+}
 
 /// A monotonic snapshot of the per-phase counters (cumulative since
 /// process start). Subtract two snapshots with [`SearchTimings::since`] to
@@ -109,6 +133,14 @@ impl Phase {
             Phase::Insert => &INSERT_NS,
         }
     }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Propose => 0,
+            Phase::Estimate => 1,
+            Phase::Insert => 2,
+        }
+    }
 }
 
 /// Scope guard charging its lifetime to one phase counter. Created at the
@@ -131,12 +163,18 @@ impl Drop for PhaseTimer {
     fn drop(&mut self) {
         let ns = self.t0.elapsed().as_nanos() as u64;
         self.phase.sink().fetch_add(ns, Ordering::Relaxed);
+        if telemetry::metrics_enabled() {
+            phase_metrics().round_ns[self.phase.index()].record(ns);
+        }
     }
 }
 
 /// Records `n` candidate rows as estimated (the evals/s numerator).
 pub(crate) fn count_estimates(n: usize) {
     ESTIMATES.fetch_add(n as u64, Ordering::Relaxed);
+    if telemetry::metrics_enabled() {
+        phase_metrics().estimates.add(n as u64);
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,8 @@ impl SearchStrategy for RandomSampling {
         opts: &SearchOptions,
         cancel: &CancelToken,
     ) -> ParetoFront<Configuration> {
+        let mut sp = autoax_telemetry::span("search.random");
+        sp.field("max_evals", opts.max_evals);
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let mut front = ParetoFront::new();
         let chunk = opts.batch_size.max(1);

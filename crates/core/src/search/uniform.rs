@@ -37,6 +37,8 @@ impl SearchStrategy for UniformSelection {
             return ParetoFront::new();
         }
         let levels = opts.uniform_levels.max(2).min(opts.max_evals.max(2));
+        let mut sp = autoax_telemetry::span("search.uniform");
+        sp.field("levels", levels);
         let (configs, batch) = {
             let _t = super::phase::PhaseTimer::start(super::phase::Phase::Propose);
             let configs = uniform_selection(space, levels);

@@ -41,6 +41,30 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use autoax_telemetry as telemetry;
+
+/// Pool metrics, registered once and cached. Burst-granular only — never
+/// per task — so the subscribed overhead is a few atomics per burst and
+/// the unsubscribed overhead is one relaxed load per burst.
+struct PoolMetrics {
+    workers: telemetry::Gauge,
+    busy: telemetry::Gauge,
+    bursts: telemetry::Counter,
+    burst_tasks: telemetry::Histogram,
+    burst_ns: telemetry::Histogram,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static M: OnceLock<PoolMetrics> = OnceLock::new();
+    M.get_or_init(|| PoolMetrics {
+        workers: telemetry::gauge("autoax_pool_workers"),
+        busy: telemetry::gauge("autoax_pool_busy_workers"),
+        bursts: telemetry::counter("autoax_pool_bursts_total"),
+        burst_tasks: telemetry::histogram("autoax_pool_burst_tasks"),
+        burst_ns: telemetry::histogram("autoax_pool_burst_ns"),
+    })
+}
+
 /// Upper bound on pool workers, far above any sane `AUTOAX_THREADS`.
 /// Requests beyond it still complete — the submitter runs the overflow
 /// tasks itself — there is just no extra parallelism past the cap.
@@ -107,6 +131,9 @@ impl Pool {
             }
             *spawned += 1;
         }
+        if telemetry::metrics_enabled() {
+            pool_metrics().workers.set(*spawned as i64);
+        }
     }
 }
 
@@ -131,7 +158,16 @@ fn worker_loop(pool: &'static Pool) {
                 q = pool.wake.wait(q).expect("pool queue lock poisoned");
             }
         };
+        // Capture the flag once so the inc/dec pair stays balanced even if
+        // the registry is toggled mid-burst.
+        let track = telemetry::metrics_enabled();
+        if track {
+            pool_metrics().busy.inc();
+        }
         execute(&job);
+        if track {
+            pool_metrics().busy.dec();
+        }
     }
 }
 
@@ -180,6 +216,16 @@ where
     }
     let pool = pool();
     pool.ensure_workers(tasks - 1);
+    // Burst-granular telemetry (0/1-task bursts run inline above and are
+    // deliberately uncounted — they never touch the pool).
+    let burst_start = if telemetry::metrics_enabled() {
+        let m = pool_metrics();
+        m.bursts.inc();
+        m.burst_tasks.record(tasks as u64);
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
 
     // Erase the closure lifetime; see the safety note on `Job::f`.
     let f_ref: &(dyn Fn(usize) + Sync + '_) = &f;
@@ -221,6 +267,12 @@ where
         if let Some(pos) = q.iter().position(|j| Arc::ptr_eq(j, &job)) {
             q.remove(pos);
         }
+    }
+
+    if let Some(t0) = burst_start {
+        pool_metrics()
+            .burst_ns
+            .record(t0.elapsed().as_nanos() as u64);
     }
 
     if job.panicked.load(Ordering::Relaxed) {

@@ -19,10 +19,29 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
+use autoax_telemetry as telemetry;
+
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Service-pool metrics (shared by all [`WorkerPool`] instances — in
+/// practice one per process, the `autoax-serve` connection pool).
+struct ServiceMetrics {
+    busy: telemetry::Gauge,
+    tasks: telemetry::Counter,
+    task_panics: telemetry::Counter,
+}
+
+fn service_metrics() -> &'static ServiceMetrics {
+    static M: OnceLock<ServiceMetrics> = OnceLock::new();
+    M.get_or_init(|| ServiceMetrics {
+        busy: telemetry::gauge("autoax_service_pool_busy_workers"),
+        tasks: telemetry::counter("autoax_service_pool_tasks_total"),
+        task_panics: telemetry::counter("autoax_service_pool_task_panics_total"),
+    })
+}
 
 /// Why a [`WorkerPool::submit`] was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,10 +175,23 @@ fn worker_loop(shared: &Shared) {
                 state = shared.wake.wait(state).expect("pool lock poisoned");
             }
         };
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
+        let track = telemetry::metrics_enabled();
+        if track {
+            service_metrics().busy.inc();
+        }
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err();
+        if panicked {
             shared.panicked.fetch_add(1, Ordering::Relaxed);
         }
         shared.completed.fetch_add(1, Ordering::Relaxed);
+        if track {
+            let m = service_metrics();
+            m.busy.dec();
+            m.tasks.inc();
+            if panicked {
+                m.task_panics.inc();
+            }
+        }
     }
 }
 

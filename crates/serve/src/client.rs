@@ -12,11 +12,24 @@ use std::net::{SocketAddr, TcpStream};
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// Lower-cased response header names with trimmed values, in
+    /// arrival order.
+    pub headers: Vec<(String, String)>,
     /// Body lines that parsed as JSON, in stream order.
     pub lines: Vec<Json>,
 }
 
 impl Response {
+    /// First response header value under `name` (matched
+    /// case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// The `front_digest` from a job stream's `done` trailer, if any.
     pub fn front_digest(&self) -> Option<&str> {
         self.event("done")?.get("front_digest")?.as_str()
@@ -108,12 +121,16 @@ fn read_response(stream: TcpStream) -> io::Result<Response> {
                 format!("bad status line: {status_line:?}"),
             )
         })?;
-    // Skip headers up to the blank line, then read the body to EOF
+    // Collect headers up to the blank line, then read the body to EOF
     // (Connection: close delimits it).
+    let mut headers = Vec::new();
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
             break;
+        }
+        if let Some((name, value)) = line.trim_end().split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
     }
     let mut body = String::new();
@@ -123,5 +140,9 @@ fn read_response(stream: TcpStream) -> io::Result<Response> {
         .filter(|l| !l.trim().is_empty())
         .filter_map(|l| Json::parse(l).ok())
         .collect();
-    Ok(Response { status, lines })
+    Ok(Response {
+        status,
+        headers,
+        lines,
+    })
 }

@@ -35,6 +35,7 @@ use autoax::pipeline::{run_pipeline, PipelineOptions, PipelineResult};
 use autoax::{AutoAxError, CancelToken, JobLimits, JobSpec, SearchAlgo};
 use autoax_store::cache::{BlobStore, CacheKey, CacheMode, KeyHasher, Loaded};
 use autoax_store::{ShardedStore, StoreStats};
+use autoax_telemetry as telemetry;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -422,6 +423,13 @@ impl JobEngine {
                 let _permit = match self.gate.try_acquire(&req.tenant) {
                     Ok(p) => p,
                     Err(refused) => {
+                        if telemetry::metrics_enabled() {
+                            telemetry::counter_with(
+                                "autoax_serve_rejections_total",
+                                &[("reason", refused.label())],
+                            )
+                            .inc();
+                        }
                         leader.fail(refused.to_string());
                         return Err(ProtocolError::Busy(refused.to_string()));
                     }

@@ -20,6 +20,17 @@ pub enum Refused {
     TenantSaturated,
 }
 
+impl Refused {
+    /// Stable label for the metrics stream
+    /// (`autoax_serve_rejections_total{reason=...}`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Refused::ServerSaturated => "server_saturated",
+            Refused::TenantSaturated => "tenant_saturated",
+        }
+    }
+}
+
 impl std::fmt::Display for Refused {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

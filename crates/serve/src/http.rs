@@ -242,10 +242,25 @@ pub fn write_head(
     reason: &str,
     content_type: &str,
 ) -> std::io::Result<()> {
+    write_head_with(w, status, reason, content_type, &[])
+}
+
+/// [`write_head`] plus extra response headers (e.g. `X-Request-Id`).
+pub fn write_head_with(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &[(&str, &str)],
+) -> std::io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n"
-    )
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nConnection: close\r\n"
+    )?;
+    for (name, value) in extra {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(w, "\r\n")
 }
 
 /// Writes a complete JSON error response for `err`.

@@ -12,12 +12,14 @@
 //! cancelled` to those clients, never a hung socket).
 
 use crate::engine::{EngineConfig, JobEngine, JobOutcome, JobRequest, Served};
-use crate::http::{read_request, write_error, write_head, HttpLimits, ProtocolError, Request};
+use crate::http::{read_request, write_error, write_head_with, HttpLimits, ProtocolError, Request};
 use crate::json::{obj, Json};
 use autoax::CancelToken;
 use autoax_exec::WorkerPool;
+use autoax_telemetry as telemetry;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -93,6 +95,9 @@ impl Drop for ServerHandle {
 /// # Errors
 /// Propagates the bind failure.
 pub fn spawn(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    // A service process is always subscribed: its whole point is to be
+    // observed, and the per-event cost is noise next to socket IO.
+    telemetry::set_metrics(true);
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -143,6 +148,22 @@ fn accept_loop(
     pool.shutdown();
 }
 
+/// Request id for a connection: echo the client's `X-Request-Id` if it
+/// sent one (so ids correlate across proxies), otherwise mint a
+/// process-unique `pid-sequence` id. No timestamps — ids must not
+/// perturb determinism-sensitive code paths they get threaded through.
+fn request_id(req: &Request) -> String {
+    match req.header("x-request-id") {
+        // Cap echoed ids: they go back out in a header and into NDJSON.
+        Some(id) if !id.is_empty() && id.len() <= 128 => id.to_string(),
+        _ => {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            format!("{:08x}-{:08x}", std::process::id(), seq)
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream, engine: &Arc<JobEngine>, http: HttpLimits) {
     let read_half = match stream.try_clone() {
         Ok(s) => s,
@@ -153,26 +174,47 @@ fn handle_connection(stream: TcpStream, engine: &Arc<JobEngine>, http: HttpLimit
     let request = match read_request(&mut reader, &http) {
         Ok(r) => r,
         Err(e) => {
+            if telemetry::metrics_enabled() {
+                telemetry::counter_with("autoax_serve_requests_total", &[("route", "malformed")])
+                    .inc();
+            }
             let _ = write_error(&mut writer, &e);
             return;
         }
     };
+    let track = telemetry::metrics_enabled();
+    let t0 = track.then(std::time::Instant::now);
+    let id = request_id(&request);
     // Write failures past this point mean the client disconnected
     // mid-stream; the job itself already ran (or was joined) and its
     // slots were released by `submit` returning, so we just stop writing.
-    let _ = route(&mut writer, engine, &request);
+    let _ = route(&mut writer, engine, &request, &id);
     let _ = writer.flush();
+    if let Some(t0) = t0 {
+        let route_label = match request.path.as_str() {
+            "/health" | "/healthz" | "/stats" | "/metrics" | "/jobs" => request.path.as_str(),
+            _ => "other",
+        };
+        telemetry::counter_with("autoax_serve_requests_total", &[("route", route_label)]).inc();
+        telemetry::histogram_with("autoax_serve_request_ns", &[("route", route_label)])
+            .record(t0.elapsed().as_nanos() as u64);
+    }
 }
 
-fn route(w: &mut impl Write, engine: &Arc<JobEngine>, req: &Request) -> io::Result<()> {
+fn route(w: &mut impl Write, engine: &Arc<JobEngine>, req: &Request, id: &str) -> io::Result<()> {
+    let rid = [("X-Request-Id", id)];
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/health") => {
-            write_head(w, 200, "OK", "application/json")?;
+        ("GET", "/health") | ("GET", "/healthz") => {
+            write_head_with(w, 200, "OK", "application/json", &rid)?;
             writeln!(w, "{}", obj([("status", Json::Str("ok".into()))]))
+        }
+        ("GET", "/metrics") => {
+            write_head_with(w, 200, "OK", "text/plain; version=0.0.4", &rid)?;
+            w.write_all(telemetry::render_prometheus().as_bytes())
         }
         ("GET", "/stats") => {
             let s = engine.stats();
-            write_head(w, 200, "OK", "application/json")?;
+            write_head_with(w, 200, "OK", "application/json", &rid)?;
             writeln!(
                 w,
                 "{}",
@@ -187,15 +229,15 @@ fn route(w: &mut impl Write, engine: &Arc<JobEngine>, req: &Request) -> io::Resu
                 ])
             )
         }
-        ("POST", "/jobs") => match submit(engine, req) {
-            Ok(outcome) => stream_outcome(w, &outcome),
+        ("POST", "/jobs") => match submit(engine, req, id) {
+            Ok(outcome) => stream_outcome(w, &outcome, id),
             Err(e) => write_error(w, &e),
         },
         _ => write_error(w, &ProtocolError::NotFound),
     }
 }
 
-fn submit(engine: &Arc<JobEngine>, req: &Request) -> Result<JobOutcome, ProtocolError> {
+fn submit(engine: &Arc<JobEngine>, req: &Request, id: &str) -> Result<JobOutcome, ProtocolError> {
     let text = std::str::from_utf8(&req.body)
         .map_err(|_| ProtocolError::BadJson("body is not UTF-8".to_string()))?;
     let body = Json::parse(text).map_err(|e| ProtocolError::BadJson(e.to_string()))?;
@@ -204,23 +246,49 @@ fn submit(engine: &Arc<JobEngine>, req: &Request) -> Result<JobOutcome, Protocol
         // The header wins over the body field: proxies set it.
         job.tenant = tenant.to_string();
     }
-    engine.submit(&job)
+    let mut sp = telemetry::span("serve.job");
+    sp.field("request_id", id);
+    sp.field("tenant", &job.tenant);
+    let outcome = engine.submit(&job);
+    match &outcome {
+        Ok(ok) => sp.field(
+            "served",
+            match ok.served {
+                Served::Computed => "computed",
+                Served::Deduped => "deduped",
+                Served::Cached => "cached",
+            },
+        ),
+        Err(e) => sp.field("error", e),
+    }
+    outcome
 }
 
 /// NDJSON job response: an `accepted` event, one line per front member,
-/// a `done` trailer carrying the digest.
-fn stream_outcome(w: &mut impl Write, outcome: &JobOutcome) -> io::Result<()> {
+/// a `done` trailer carrying the digest. Both lifecycle events carry the
+/// request id so a multiplexed log can be re-threaded per request.
+fn stream_outcome(w: &mut impl Write, outcome: &JobOutcome, id: &str) -> io::Result<()> {
     let served = match outcome.served {
         Served::Computed => "computed",
         Served::Deduped => "deduped",
         Served::Cached => "cached",
     };
-    write_head(w, 200, "OK", "application/x-ndjson")?;
+    if telemetry::metrics_enabled() {
+        telemetry::counter_with("autoax_serve_jobs_total", &[("served", served)]).inc();
+    }
+    write_head_with(
+        w,
+        200,
+        "OK",
+        "application/x-ndjson",
+        &[("X-Request-Id", id)],
+    )?;
     writeln!(
         w,
         "{}",
         obj([
             ("event", Json::Str("accepted".into())),
+            ("request_id", Json::Str(id.into())),
             ("served", Json::Str(served.into())),
             ("members", Json::Num(outcome.result.members.len() as f64)),
         ])
@@ -245,6 +313,7 @@ fn stream_outcome(w: &mut impl Write, outcome: &JobOutcome) -> io::Result<()> {
         "{}",
         obj([
             ("event", Json::Str("done".into())),
+            ("request_id", Json::Str(id.into())),
             (
                 "front_digest",
                 Json::Str(format!("{:016x}", outcome.result.front_digest))

@@ -11,7 +11,31 @@
 
 use crate::container::{self, FORMAT_VERSION};
 use crate::StoreError;
+use autoax_telemetry::{self as telemetry, ax_warn};
 use std::path::{Path, PathBuf};
+
+/// Records one disk-load outcome under the store's metric taxonomy:
+/// `autoax_store_loads_total{kind,result}` plus an
+/// `autoax_store_load_ns{kind}` latency sample. Only called when the
+/// registry is subscribed; the label lookup cost is noise next to the
+/// `fs::read` it annotates.
+fn record_load(kind: &str, result: &'static str, ns: u64) {
+    telemetry::counter_with(
+        "autoax_store_loads_total",
+        &[("kind", kind), ("result", result)],
+    )
+    .inc();
+    telemetry::histogram_with("autoax_store_load_ns", &[("kind", kind)]).record(ns);
+}
+
+fn record_save(kind: &str, result: &'static str, ns: u64) {
+    telemetry::counter_with(
+        "autoax_store_saves_total",
+        &[("kind", kind), ("result", result)],
+    )
+    .inc();
+    telemetry::histogram_with("autoax_store_save_ns", &[("kind", kind)]).record(ns);
+}
 
 /// How a pipeline interacts with the on-disk cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,9 +88,10 @@ impl std::fmt::Display for CacheMode {
 ///
 /// `--cache-dir` alone implies [`CacheMode::ReadWrite`] (the common
 /// "just make repeat runs fast" intent); without a directory caching is
-/// off regardless of mode. An unrecognized mode value warns on stderr
-/// and disables caching entirely — a typo must not silently enable (or
-/// keep) cache reads the user asked to turn off.
+/// off regardless of mode. An unrecognized mode value warns through the
+/// leveled logger (visible with `AUTOAX_LOG=warn`) and disables caching
+/// entirely — a typo must not silently enable (or keep) cache reads the
+/// user asked to turn off.
 ///
 /// This is the single flag parser shared by the examples and the bench
 /// binaries, so every entry point accepts the same syntax.
@@ -77,7 +102,7 @@ pub fn parse_cache_flags(args: &[String]) -> (Option<PathBuf>, CacheMode) {
     let mut set_mode = |s: &str| match CacheMode::parse(s) {
         Some(m) => Some(m),
         None => {
-            eprintln!("unknown cache mode `{s}`, caching disabled");
+            ax_warn!("unknown cache mode `{s}`, caching disabled");
             bad_mode = true;
             None
         }
@@ -290,6 +315,20 @@ impl Store {
     /// Looks an entry up, validating the container (magic, checksum,
     /// version, tag). Never panics and never returns unvalidated bytes.
     pub fn load(&self, kind: &str, key: CacheKey, tag: [u8; 4]) -> Loaded {
+        let t0 = telemetry::metrics_enabled().then(std::time::Instant::now);
+        let loaded = self.load_inner(kind, key, tag);
+        if let Some(t0) = t0 {
+            let result = match &loaded {
+                Loaded::Hit(_) => "hit",
+                Loaded::Miss => "miss",
+                Loaded::Rejected(_) => "rejected",
+            };
+            record_load(kind, result, t0.elapsed().as_nanos() as u64);
+        }
+        loaded
+    }
+
+    fn load_inner(&self, kind: &str, key: CacheKey, tag: [u8; 4]) -> Loaded {
         let path = self.entry_path(kind, key);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
@@ -308,6 +347,22 @@ impl Store {
     /// # Errors
     /// Propagates filesystem errors; the destination is never left torn.
     pub fn save(
+        &self,
+        kind: &str,
+        key: CacheKey,
+        tag: [u8; 4],
+        payload: Vec<u8>,
+    ) -> Result<PathBuf, StoreError> {
+        let t0 = telemetry::metrics_enabled().then(std::time::Instant::now);
+        let saved = self.save_inner(kind, key, tag, payload);
+        if let Some(t0) = t0 {
+            let result = if saved.is_ok() { "ok" } else { "error" };
+            record_save(kind, result, t0.elapsed().as_nanos() as u64);
+        }
+        saved
+    }
+
+    fn save_inner(
         &self,
         kind: &str,
         key: CacheKey,

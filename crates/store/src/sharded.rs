@@ -22,6 +22,7 @@
 use crate::cache::{BlobStore, CacheKey, Loaded, Store};
 use crate::lru::LruCache;
 use crate::StoreError;
+use autoax_telemetry as telemetry;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -152,6 +153,12 @@ impl BlobStore for ShardedStore {
         if let Some(bytes) = shard.lru.get(&lkey) {
             let payload = bytes.to_vec();
             self.lru_hits.fetch_add(1, Ordering::Relaxed);
+            // The memory tier short-circuits `Store::load`, so its hits
+            // carry their own registry counter (disk-tier outcomes are
+            // counted inside `Store`).
+            if telemetry::metrics_enabled() {
+                telemetry::counter_with("autoax_store_lru_hits_total", &[("kind", kind)]).inc();
+            }
             return Loaded::Hit(payload);
         }
         match shard.store.load(kind, key, tag) {

@@ -1,0 +1,160 @@
+//! Leveled stderr logger behind `ax_error!` … `ax_trace!` macros.
+//!
+//! Silent by default: the threshold starts at `off` and is raised either
+//! by the `AUTOAX_LOG` environment variable (`error|warn|info|debug|
+//! trace`, parsed lazily on first use) or programmatically via
+//! [`set_max_level`]. An enabled check is one relaxed atomic load, so the
+//! macros are safe to leave in warm paths.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Once;
+
+/// Log severities, most to least severe.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum Level {
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "1" => Some(Level::Error),
+            "warn" | "warning" | "2" => Some(Level::Warn),
+            "info" | "3" => Some(Level::Info),
+            "debug" | "4" => Some(Level::Debug),
+            "trace" | "5" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+/// Current threshold; 0 = off.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+static ENV_INIT: Once = Once::new();
+
+/// Applies `AUTOAX_LOG` to the threshold (first call wins; later calls are
+/// no-ops). Invoked lazily by [`log_enabled`], so binaries need no setup —
+/// but an explicit [`set_max_level`] before first use overrides the env.
+pub fn init_level_from_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var(crate::LOG_ENV) {
+            if let Some(l) = Level::parse(&v) {
+                MAX_LEVEL.store(l as u8, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// Sets the threshold programmatically; `None` silences the logger. Also
+/// marks the env as consumed so `AUTOAX_LOG` won't overwrite this later.
+pub fn set_max_level(level: Option<Level>) {
+    ENV_INIT.call_once(|| {});
+    MAX_LEVEL.store(level.map(|l| l as u8).unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Would a message at `level` be emitted? One relaxed load after the
+/// one-time env parse.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    init_level_from_env();
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Writes one formatted line to stderr. Called by the macros after their
+/// [`log_enabled`] check; not intended for direct use.
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    eprintln!("[{} {}] {}", level.as_str(), target, args);
+}
+
+#[macro_export]
+macro_rules! ax_error {
+    ($($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Error) {
+            $crate::log::log($crate::log::Level::Error, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! ax_warn {
+    ($($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Warn) {
+            $crate::log::log($crate::log::Level::Warn, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! ax_info {
+    ($($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Info) {
+            $crate::log::log($crate::log::Level::Info, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! ax_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Debug) {
+            $crate::log::log($crate::log::Level::Debug, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! ax_trace {
+    ($($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Trace) {
+            $crate::log::log($crate::log::Level::Trace, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse(" trace "), Some(Level::Trace));
+        assert_eq!(Level::parse("3"), Some(Level::Info));
+        assert_eq!(Level::parse("loud"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn threshold_gating() {
+        set_max_level(Some(Level::Info));
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        set_max_level(None);
+        assert!(!log_enabled(Level::Error));
+    }
+}

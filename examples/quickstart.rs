@@ -27,6 +27,16 @@
 //! (the paper's Step 2/3 loop): between search epochs the most
 //! informative candidates are real-evaluated and folded back into the
 //! surrogate training set, and the run reports fidelity before/after.
+//!
+//! The run is observable without changing its result (the front digest
+//! is byte-identical either way):
+//!
+//! ```sh
+//! AUTOAX_LOG=debug AUTOAX_TRACE=trace.json cargo run --release --example quickstart
+//! ```
+//!
+//! writes a Chrome-trace JSON (load it at `chrome://tracing` or in
+//! Perfetto) plus a folded-stacks profile next to it (`trace.folded`).
 
 use autoax::pipeline::{run_pipeline, PipelineOptions};
 use autoax::{RefinementSchedule, SearchAlgo};
@@ -34,8 +44,10 @@ use autoax_accel::sobel::SobelEd;
 use autoax_circuit::charlib::LibraryConfig;
 use autoax_image::synthetic::benchmark_suite;
 use autoax_store::{load_or_build_library, parse_cache_flags};
+use autoax_telemetry as telemetry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    telemetry::init_from_env();
     let args: Vec<String> = std::env::args().collect();
     let (cache_dir, cache_mode) = parse_cache_flags(&args);
     let strategy = SearchAlgo::from_args(&args).unwrap_or(SearchAlgo::Hill);
@@ -113,5 +125,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A digest of the final front: cold and warm runs must agree on it
     // bit for bit (the CI cache smoke job compares the two lines).
     println!("front-digest: {:016x}", result.front_digest());
+
+    // Export the trace if AUTOAX_TRACE named a file; the digest above is
+    // printed first so observation visibly never perturbs the result.
+    if let Some(path) = telemetry::trace_path_from_env() {
+        let spans = telemetry::take_spans();
+        std::fs::write(&path, telemetry::export_chrome_trace(&spans))?;
+        let folded = std::path::Path::new(&path).with_extension("folded");
+        std::fs::write(&folded, telemetry::export_folded(&spans))?;
+        println!(
+            "trace: {} spans -> {path} (chrome://tracing) + {} (flamegraph folded)",
+            spans.len(),
+            folded.display()
+        );
+    }
     Ok(())
 }
